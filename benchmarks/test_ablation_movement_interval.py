@@ -1,0 +1,84 @@
+"""Ablation — the history buffer's selection interval (§4.2).
+
+The paper fixes the interval at n = 64 writes (matching the buffer's 64
+entries). Shorter intervals react faster but risk subtree thrash and
+more movement traffic; longer intervals are stable but slow to adapt.
+This ablation sweeps the interval on the interference-heavy multiprogram
+pair, reporting overhead, movement count, and movement rate (the paper
+measures ~1-3 movements per 1000 data writes).
+"""
+
+from repro.bench.experiments import MULTIPROGRAM_SCATTER_CHUNKS
+from repro.bench.reporting import format_table
+from repro.config import default_config
+from repro.sim.engine import simulate
+from repro.sim.machine import build_machine
+from repro.workloads.multiprogram import multiprogram_trace
+from repro.workloads.parsec import parsec_profile
+
+INTERVALS = (16, 64, 256, 1024)
+
+
+def run_sweep(accesses_each: int, seed: int):
+    trace = multiprogram_trace(
+        [parsec_profile("bodytrack"), parsec_profile("fluidanimate")],
+        seed=seed,
+        accesses_each=accesses_each,
+    )
+    rows = []
+    for interval in INTERVALS:
+        config = default_config(movement_interval_writes=interval)
+        baseline = simulate(
+            build_machine(
+                config,
+                "volatile",
+                seed=seed,
+                scatter_span_chunks=MULTIPROGRAM_SCATTER_CHUNKS,
+            ),
+            trace,
+            seed=seed,
+        )
+        result = simulate(
+            build_machine(
+                config,
+                "amnt",
+                seed=seed,
+                scatter_span_chunks=MULTIPROGRAM_SCATTER_CHUNKS,
+            ),
+            trace,
+            seed=seed,
+        )
+        rows.append(
+            {
+                "interval": interval,
+                "norm_cycles": result.cycles / baseline.cycles,
+                "subtree_hit": result.subtree_hit_rate() or 0.0,
+                "movements": result.protocol_stats.get(
+                    "protocol.amnt.movements", 0
+                ),
+                "movement_rate": result.movement_rate() or 0.0,
+            }
+        )
+    return rows
+
+
+def test_ablation_movement_interval(benchmark, bench_accesses, bench_seed):
+    rows = benchmark.pedantic(
+        run_sweep,
+        kwargs={"accesses_each": bench_accesses // 2, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            rows,
+            title="Ablation — AMNT selection interval (paper default: 64)",
+        )
+    )
+    by_interval = {row["interval"]: row for row in rows}
+    # Shorter intervals move (at least as) often.
+    assert by_interval[16]["movements"] >= by_interval[1024]["movements"]
+    # Every configuration keeps movements rare relative to writes.
+    for row in rows:
+        assert row["movement_rate"] < 0.05

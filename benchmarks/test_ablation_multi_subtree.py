@@ -1,0 +1,87 @@
+"""Ablation — hardware vs software fixes for multiprogram interference.
+
+Section 5 of the paper considers "per-core subtrees" to handle
+multiprogram hotness splits and rejects the idea for hardware cost,
+choosing the AMNT++ OS modification instead. This ablation measures the
+choice: on the interference-heavy pair, multi-subtree AMNT (4 NV
+registers, no OS change) is compared against plain AMNT and AMNT++
+(1 NV register + a modified allocator) on both performance and area.
+"""
+
+from repro.bench.experiments import MULTIPROGRAM_SCATTER_CHUNKS
+from repro.bench.reporting import format_table
+from repro.config import default_config
+from repro.sim.engine import simulate
+from repro.sim.machine import build_machine
+from repro.workloads.multiprogram import multiprogram_trace
+from repro.workloads.parsec import parsec_profile
+
+PROTOCOLS = ("volatile", "leaf", "amnt", "amnt-multi", "amnt++")
+
+
+def run_ablation(accesses_each: int, seed: int):
+    config = default_config()
+    trace = multiprogram_trace(
+        [parsec_profile("bodytrack"), parsec_profile("fluidanimate")],
+        seed=seed,
+        accesses_each=accesses_each,
+    )
+    rows = []
+    baseline_cycles = None
+    for name in PROTOCOLS:
+        machine = build_machine(
+            config,
+            name,
+            seed=seed,
+            scatter_span_chunks=MULTIPROGRAM_SCATTER_CHUNKS,
+        )
+        result = simulate(machine, trace, seed=seed)
+        if baseline_cycles is None:
+            baseline_cycles = result.cycles
+        area = machine.protocol.area_overhead()
+        hit_rate = result.subtree_hit_rate()
+        rows.append(
+            {
+                "protocol": name,
+                "norm_cycles": result.cycles / baseline_cycles,
+                "subtree_hit": -1.0 if hit_rate is None else hit_rate,
+                "nv_bytes": area.nonvolatile_on_chip_bytes,
+                "needs_os_change": machine.modified_os,
+            }
+        )
+    return rows
+
+
+def test_ablation_multi_subtree(
+    benchmark, bench_accesses, bench_seed, shape_checks
+):
+    rows = benchmark.pedantic(
+        run_ablation,
+        kwargs={"accesses_each": bench_accesses // 2, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            rows,
+            title="Ablation — per-core subtrees (amnt-multi) vs the "
+            "AMNT++ software fix",
+        )
+    )
+    if not shape_checks:
+        return  # smoke run: table printed, assertions need warmed caches
+    by_name = {row["protocol"]: row for row in rows}
+
+    # Both fixes beat plain AMNT under interference.
+    assert by_name["amnt-multi"]["norm_cycles"] < by_name["amnt"]["norm_cycles"]
+    assert by_name["amnt++"]["norm_cycles"] < by_name["amnt"]["norm_cycles"]
+    # The hardware fix pays 4x the non-volatile on-chip area...
+    assert by_name["amnt-multi"]["nv_bytes"] == 4 * by_name["amnt"]["nv_bytes"]
+    # ...while the software fix keeps AMNT's 64 B and matches or beats
+    # it on performance — the paper's §5 design argument.
+    assert by_name["amnt++"]["nv_bytes"] == by_name["amnt"]["nv_bytes"]
+    assert (
+        by_name["amnt++"]["norm_cycles"]
+        <= by_name["amnt-multi"]["norm_cycles"] * 1.10
+    )

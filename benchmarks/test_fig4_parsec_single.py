@@ -1,0 +1,65 @@
+"""Figure 4 — normalized cycles, single-program PARSEC.
+
+Paper's shapes (normalized to volatile secure memory):
+* leaf persistence ~8 % average overhead — the floor;
+* strict persistence ~2.39x average — the ceiling;
+* AMNT ~16 % average (~10 % with AMNT++): near-leaf, because single
+  programs concentrate their writes in one subtree region;
+* Anubis collapses on metadata-cache-hostile workloads (canneal ~2.4x,
+  30 % metadata hit rate) while AMNT stays under a few percent there.
+"""
+
+import pytest
+
+from repro.bench.experiments import FIG4_PROTOCOLS, fig4_single_program
+from repro.bench.reporting import format_series
+from repro.sim.runner import geometric_mean
+from repro.workloads.parsec import parsec_names
+
+
+def test_fig4_parsec_single_program(
+    benchmark, bench_accesses, bench_seed, shape_checks
+):
+    figure = benchmark.pedantic(
+        fig4_single_program,
+        kwargs={"accesses": bench_accesses, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_series(
+            figure,
+            title="Figure 4 — PARSEC single-program cycles "
+            "(normalized to volatile)",
+        )
+    )
+    means = {
+        protocol: geometric_mean(
+            figure[bench][protocol] for bench in parsec_names()
+        )
+        for protocol in FIG4_PROTOCOLS
+    }
+    print(
+        "geomean:  "
+        + "  ".join(f"{name}={value:.3f}" for name, value in means.items())
+    )
+
+    if not shape_checks:
+        return  # smoke run: table printed, assertions need warmed caches
+    # --- paper-shape assertions -----------------------------------------
+    # The ordering of averages: volatile <= leaf <= amnt <= strict.
+    assert means["leaf"] <= means["amnt"] * 1.02
+    assert means["amnt"] < means["strict"]
+    assert means["bmf"] < means["strict"]
+    # Leaf is a modest overhead, strict a multiple (the gap widens with
+    # REPRO_BENCH_ACCESSES as LLC warmup amortizes; the paper's full
+    # regions of interest give ~1.08 vs ~2.39).
+    assert means["leaf"] < 1.25
+    assert means["strict"] > 1.35
+    assert means["strict"] > means["leaf"] + 0.25
+    # canneal: Anubis suffers (metadata-cache hostile), AMNT doesn't.
+    assert figure["canneal"]["anubis"] > 1.5
+    assert figure["canneal"]["amnt"] < 1.1
+    # Compute-bound benchmarks barely notice any protocol.
+    assert figure["swaptions"]["strict"] < 1.1

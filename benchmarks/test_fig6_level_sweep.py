@@ -1,0 +1,60 @@
+"""Figure 6 — normalized cycles vs AMNT subtree root level.
+
+Paper's shape: as the subtree root moves toward the leaves (level 2 ->
+7) each subtree region covers less memory, constraining AMNT's hot
+tracking; runtime overhead therefore rises with level, and AMNT++'s
+allocation bias softens the rise (the paper reports >=5 % subtree hit
+improvement between levels 3 and 7 for bodytrack+fluidanimate).
+"""
+
+from repro.bench.experiments import fig6_fig7_level_sweep
+from repro.bench.reporting import format_table
+
+LEVELS = (2, 3, 4, 5, 6, 7)
+
+
+def test_fig6_subtree_level_sweep(
+    benchmark, bench_accesses, bench_seed, shape_checks
+):
+    sweep = benchmark.pedantic(
+        fig6_fig7_level_sweep,
+        kwargs={
+            "levels": LEVELS,
+            "accesses_each": bench_accesses // 2,
+            "seed": bench_seed,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for pair, series in sweep.items():
+        for protocol in ("amnt", "amnt++"):
+            row = {"workload": pair, "protocol": protocol}
+            for level in LEVELS:
+                row[f"L{level}"] = series[f"{protocol}_cycles"][level]
+            rows.append(row)
+    print()
+    print(
+        format_table(
+            rows,
+            title="Figure 6 — multiprogram cycles vs subtree level "
+            "(normalized to volatile)",
+        )
+    )
+
+    if not shape_checks:
+        return  # smoke run: table printed, assertions need warmed caches
+    memory_bound = sweep["bodyt and fluida"]
+    # Deeper levels constrain AMNT: the deepest level must not beat the
+    # coarsest by any meaningful margin.
+    assert (
+        memory_bound["amnt_cycles"][7]
+        >= memory_bound["amnt_cycles"][2] * 0.95
+    )
+    # AMNT++ is at least as good as AMNT on every level for the
+    # memory-bound pair.
+    for level in LEVELS:
+        assert (
+            memory_bound["amnt++_cycles"][level]
+            <= memory_bound["amnt_cycles"][level] * 1.05
+        )

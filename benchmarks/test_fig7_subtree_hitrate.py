@@ -1,0 +1,60 @@
+"""Figure 7 — subtree hit rates vs AMNT subtree root level.
+
+Paper's shape: the subtree hit rate falls as the root level deepens
+(smaller regions), and AMNT++ lifts the whole curve — e.g. 91 % -> 97 %
+at level 3 for bodytrack+fluidanimate.
+"""
+
+from repro.bench.experiments import fig6_fig7_level_sweep
+from repro.bench.reporting import format_table
+
+LEVELS = (2, 3, 4, 5, 6, 7)
+
+
+def test_fig7_subtree_hit_rates(
+    benchmark, bench_accesses, bench_seed, shape_checks
+):
+    sweep = benchmark.pedantic(
+        fig6_fig7_level_sweep,
+        kwargs={
+            "levels": LEVELS,
+            "accesses_each": bench_accesses // 2,
+            "seed": bench_seed,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for pair, series in sweep.items():
+        for protocol in ("amnt", "amnt++"):
+            row = {"workload": pair, "protocol": protocol}
+            for level in LEVELS:
+                row[f"L{level}"] = series[f"{protocol}_hitrate"][level]
+            rows.append(row)
+    print()
+    print(
+        format_table(
+            rows, title="Figure 7 — subtree hit rate vs subtree level"
+        )
+    )
+
+    if not shape_checks:
+        return  # smoke run: table printed, assertions need warmed caches
+    memory_bound = sweep["bodyt and fluida"]
+    # Coarse levels cover more memory, so hit rates fall (weakly) with
+    # depth for plain AMNT.
+    assert (
+        memory_bound["amnt_hitrate"][2]
+        >= memory_bound["amnt_hitrate"][7] - 0.02
+    )
+    # AMNT++ lifts the memory-bound pair's hit rate at the paper's
+    # default level 3.
+    assert (
+        memory_bound["amnt++_hitrate"][3]
+        > memory_bound["amnt_hitrate"][3]
+    )
+    # All rates are valid probabilities.
+    for series in sweep.values():
+        for key in ("amnt_hitrate", "amnt++_hitrate"):
+            for rate in series[key].values():
+                assert 0.0 <= rate <= 1.0

@@ -1,0 +1,38 @@
+"""Table 3 — hardware overheads of BMF, Anubis, and AMNT.
+
+Paper's numbers for a 64 kB metadata cache:
+
+|        | NV on-chip | Vol. on-chip | In-memory |
+|--------|-----------:|-------------:|----------:|
+| BMF    | 4 kB       | 768 B        | -         |
+| Anubis | 64 B       | 37 kB        | 37 kB     |
+| AMNT   | 64 B       | 96 B         | -         |
+"""
+
+from repro.bench.experiments import table3_area
+from repro.bench.reporting import format_table
+from repro.util.units import KB
+
+
+def test_table3_hardware_overheads(benchmark):
+    rows = benchmark.pedantic(table3_area, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            [row.row() for row in rows],
+            title="Table 3 — hardware overheads (64 kB metadata cache)",
+        )
+    )
+    by_name = {row.protocol: row for row in rows}
+
+    assert by_name["bmf"].nonvolatile_on_chip_bytes == 4 * KB
+    assert by_name["bmf"].volatile_on_chip_bytes == 768
+    assert by_name["bmf"].in_memory_bytes == 0
+
+    assert by_name["anubis"].nonvolatile_on_chip_bytes == 64
+    assert by_name["anubis"].volatile_on_chip_bytes == 37 * KB
+    assert by_name["anubis"].in_memory_bytes == 37 * KB
+
+    assert by_name["amnt"].nonvolatile_on_chip_bytes == 64
+    assert by_name["amnt"].volatile_on_chip_bytes == 96
+    assert by_name["amnt"].in_memory_bytes == 0

@@ -1,0 +1,65 @@
+"""Table 4 — recovery times (ms) as a function of memory size.
+
+Paper's table (12 GB/s recovery read bandwidth, 8:1 read:write mix):
+
+|         | 2 TB      | 16 TB      | 128 TB       | stale  |
+|---------|----------:|-----------:|-------------:|-------:|
+| leaf    | 6,222.21  | 49,777.78  | 398,222.21   | 100 %  |
+| strict  | 0         | 0          | 0            | 0 %    |
+| Anubis  | 1.30      | 1.30       | 1.30         | fixed  |
+| Osiris  | 50,666.67 | 405,333.32 | 3,242,666.64 | 100 %* |
+| BMF     | 0         | 0          | 0            | 0 %    |
+| AMNT L2 | 777.77    | 6,222.21   | 49,777.78    | 12.5 % |
+| AMNT L3 | 97.22     | 777.77     | 6,222.21     | 1.56 % |
+| AMNT L4 | 12.15     | 97.22      | 777.77       | 0.2 %  |
+"""
+
+import pytest
+
+from repro.bench.experiments import table4_recovery
+from repro.bench.reporting import format_table
+
+
+def test_table4_recovery_times(benchmark):
+    rows = benchmark.pedantic(table4_recovery, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            rows,
+            title="Table 4 — recovery time (ms) vs memory size",
+            precision=2,
+        )
+    )
+    by_label = {row["protocol"]: row for row in rows}
+
+    # Leaf: the calibrated anchor row.
+    assert by_label["leaf"]["2.00TB"] == pytest.approx(6222.21, rel=1e-4)
+    assert by_label["leaf"]["16.00TB"] == pytest.approx(49777.78, rel=1e-4)
+    assert by_label["leaf"]["128.00TB"] == pytest.approx(398222.21, rel=1e-4)
+
+    # Strict and BMF recover instantly.
+    for label in ("strict", "bmf"):
+        for column in ("2.00TB", "16.00TB", "128.00TB"):
+            assert by_label[label][column] == 0.0
+
+    # Anubis is fixed at ~1.30 ms regardless of memory size.
+    anubis = {by_label["anubis"][c] for c in ("2.00TB", "16.00TB", "128.00TB")}
+    assert len(anubis) == 1
+    assert anubis.pop() == pytest.approx(1.30, abs=0.01)
+
+    # Osiris: ~8.1x leaf (probing pass dominates).
+    assert by_label["osiris"]["2.00TB"] == pytest.approx(50666.67, rel=0.05)
+
+    # AMNT: each level divides leaf recovery by arity, exactly the
+    # paper's diagonal (AMNT L2 @ 16 TB == leaf @ 2 TB, etc.).
+    assert by_label["AMNT L2"]["2.00TB"] == pytest.approx(777.77, rel=1e-3)
+    assert by_label["AMNT L3"]["2.00TB"] == pytest.approx(97.22, rel=1e-3)
+    assert by_label["AMNT L4"]["2.00TB"] == pytest.approx(12.15, rel=1e-2)
+    assert by_label["AMNT L2"]["16.00TB"] == pytest.approx(
+        by_label["leaf"]["2.00TB"], rel=1e-6
+    )
+
+    # Stale fractions follow 1/8^(L-1).
+    assert by_label["AMNT L2"]["stale_fraction"] == pytest.approx(0.125)
+    assert by_label["AMNT L3"]["stale_fraction"] == pytest.approx(1 / 64)
+    assert by_label["AMNT L4"]["stale_fraction"] == pytest.approx(1 / 512)

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Crash-recovery walkthrough: the paper's core guarantee, end to end.
+
+This example runs the *functional* engine (real counter-mode
+encryption, HMACs, and Merkle hashing over a simulated NVM image) and
+demonstrates, for each protocol:
+
+1. a workload writes records through the secure-memory engine;
+2. power fails — every volatile structure (metadata cache, dirty tree
+   nodes, dirty counters) evaporates; only the NVM image and the
+   non-volatile on-chip registers survive;
+3. the protocol's recovery procedure rebuilds whatever it considers
+   stale and checks it against its root(s) of trust;
+4. every record reads back decrypted and authenticated.
+
+It then shows the two failure cases that make all of this necessary:
+the volatile baseline (not crash consistent) failing recovery, and an
+attacker tampering with the powered-off NVM image being caught.
+
+Run:  python examples/crash_recovery_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import IntegrityError, default_config
+from repro.core.mee import MemoryEncryptionEngine
+from repro.core.protocol import make_protocol
+from repro.core.recovery import CrashInjector
+from repro.mem.backend import MetadataRegion
+from repro.util.units import MB
+
+PROTOCOLS = ("strict", "leaf", "osiris", "anubis", "bmf", "amnt")
+RECORDS = 120
+PAGES = 32
+
+
+def build_engine(protocol_name: str) -> MemoryEncryptionEngine:
+    config = default_config(capacity_bytes=64 * MB)
+    return MemoryEncryptionEngine(
+        config, make_protocol(protocol_name, config), functional=True
+    )
+
+
+def write_records(mee: MemoryEncryptionEngine) -> dict:
+    store = {}
+    for i in range(RECORDS):
+        addr = (i % PAGES) * 4096 + (i % 4) * 64
+        payload = f"record-{i:04d}".encode().ljust(64, b"\x00")
+        mee.write_block(addr, data=payload)
+        store[addr] = payload
+    return store
+
+
+def main() -> None:
+    print("=== crash + recovery, per protocol ===")
+    for name in PROTOCOLS:
+        mee = build_engine(name)
+        store = write_records(mee)
+        outcome = CrashInjector(mee).crash_and_recover()
+        verified = sum(
+            1 for addr, payload in store.items()
+            if mee.read_block_data(addr) == payload
+        )
+        print(
+            f"{name:8s} recovery={'OK ' if outcome.ok else 'FAIL'} "
+            f"nodes-recomputed={outcome.nodes_recomputed:>5}  "
+            f"records-verified={verified}/{len(store)}  {outcome.detail}"
+        )
+
+    print("\n=== why the baseline needs all this: volatile secure memory ===")
+    mee = build_engine("volatile")
+    write_records(mee)
+    outcome = CrashInjector(mee).crash_and_recover()
+    print(
+        f"volatile recovery={'OK' if outcome.ok else 'FAIL'}: "
+        f"{outcome.detail or 'dirty metadata died with the caches'}"
+    )
+
+    print("\n=== tamper-while-powered-off is detected ===")
+    mee = build_engine("amnt")
+    write_records(mee)
+    injector = CrashInjector(mee)
+    injector.crash_only()
+    # The attacker edits a data block on the powered-off DIMM.
+    mee.nvm.backend.corrupt(MetadataRegion.DATA, 0)
+    injector.recover()
+    try:
+        mee.read_block_data(0)
+        print("UNEXPECTED: tampered block read back verified")
+    except IntegrityError as error:
+        print(f"tampered data rejected: {error}")
+
+    # And a replayed counter contradicts the NV subtree register.
+    mee = build_engine("amnt")
+    write_records(mee)
+    injector = CrashInjector(mee)
+    injector.crash_only()
+    mee.nvm.backend.corrupt(MetadataRegion.COUNTERS, 0)
+    outcome = injector.recover()
+    print(
+        f"tampered counter at recovery: "
+        f"{'rejected - ' + outcome.detail if not outcome.ok else 'MISSED'}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Extensions tour: hybrid SCM+DRAM machines and SGX-style trees.
+
+The paper's related-work section sketches two portability claims that
+this reproduction implements for real:
+
+1. §7.3 — "AMNT abstracts well to a hybrid SCM-DRAM machine": a
+   volatile BMT (volatile root register) protects DRAM, AMNT protects
+   SCM, and the memory controller routes by physical partition. We
+   build one, write to both sides, pull the plug, and show the SCM side
+   recovering while DRAM legitimately restarts empty.
+
+2. §2.1 — "the proposed protocol can be used in an SGX-style BMT with
+   small modifications": SGX-style trees embed version counters in
+   nodes instead of child hashes. We anchor an AMNT-style subtree
+   register at an interior node of an SGX tree and show it accepting a
+   consistent post-crash image and rejecting stale or tampered ones.
+
+Run:  python examples/hybrid_and_sgx.py
+"""
+
+from __future__ import annotations
+
+from repro import default_config
+from repro.core.hybrid import HybridLayout, HybridSCMDRAMSystem
+from repro.crypto.engine import RealCryptoEngine
+from repro.integrity.geometry import TreeGeometry
+from repro.integrity.sgx import SGXStyleTree
+from repro.mem.backend import MetadataRegion, SparseMemory
+from repro.util.units import MB
+
+
+def hybrid_demo() -> None:
+    print("=== hybrid SCM + DRAM machine (§7.3) ===")
+    layout = HybridLayout(dram_bytes=32 * MB, scm_bytes=32 * MB)
+    system = HybridSCMDRAMSystem(
+        default_config(capacity_bytes=32 * MB), layout, functional=True
+    )
+    dram_addr, scm_addr = 0, layout.dram_bytes
+    system.write_block(dram_addr, data=b"dram: scratch state".ljust(64, b"\x00"))
+    interval = system.scm.config.amnt.movement_interval_writes
+    for _ in range(interval + 1):
+        system.write_block(scm_addr, data=b"scm: durable record".ljust(64, b"\x00"))
+    nonvolatile, volatile = system.extra_register_bytes()
+    print(f"  registers: {nonvolatile}B non-volatile (SCM side), "
+          f"{volatile}B volatile (the DRAM tree's root)")
+    print(f"  persists so far (all from the SCM side): "
+          f"{system.persist_traffic():,}")
+
+    outcome = system.crash_and_recover()
+    print(f"  power failure -> recovery {'OK' if outcome.ok else 'FAILED'} "
+          f"({outcome.protocol}, {outcome.nodes_recomputed} nodes)")
+    scm_back = system.read_block_data(scm_addr).rstrip(b"\x00")
+    dram_back = system.read_block_data(dram_addr)
+    print(f"  SCM record after reboot:  {scm_back!r}")
+    print(f"  DRAM block after reboot:  "
+          f"{'zeroed (as real DRAM would be)' if dram_back == bytes(64) else 'UNEXPECTED'}")
+
+
+def sgx_demo() -> None:
+    print("\n=== AMNT anchoring on an SGX-style tree (§2.1) ===")
+    geometry = TreeGeometry.from_config(default_config(capacity_bytes=64 * MB))
+    tree = SGXStyleTree(geometry, RealCryptoEngine(), SparseMemory())
+    subtree = (3, 0)
+
+    # Leaf-persistence phase inside the subtree, then the register
+    # snapshot AMNT's NV register would hold.
+    tree.bump_counter(0)
+    tree.persist_path(0)
+    anchor = tree.subtree_anchor(subtree)
+    print(f"  subtree {subtree} anchor: version={anchor[0]}, "
+          f"mac={anchor[1].hex()}")
+
+    tree.crash()
+    print(f"  consistent image accepted:  "
+          f"{tree.verify_subtree_against_anchor(subtree, anchor)}")
+
+    tree.backend.corrupt(MetadataRegion.TREE, subtree)
+    print(f"  tampered image rejected:    "
+          f"{not tree.verify_subtree_against_anchor(subtree, anchor)}")
+
+
+def main() -> None:
+    hybrid_demo()
+    sgx_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""An in-memory key-value store on secure SCM — the paper's motivating
+application, built on the public API.
+
+Storage-class memory is pitched at in-memory databases that need disk
+durability at memory speed. This example implements a small persistent
+KV store whose backing blocks live in integrity-protected, encrypted
+SCM via the functional engine. Every PUT write-throughs its block by
+the active protocol's rules; a crash at a random point must lose
+nothing that was acknowledged, and recovery must complete within the
+protocol's bound.
+
+The demo runs the same PUT workload under leaf persistence, Anubis, and
+AMNT, crashes mid-stream, recovers, and audits the store — then prints
+each protocol's runtime persist traffic and its analytic recovery time
+at data-center scale (2 TB), reproducing the paper's trade-off in an
+application setting.
+
+Run:  python examples/kvstore_persistence.py
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro import default_config
+from repro.core.mee import MemoryEncryptionEngine
+from repro.core.protocol import make_protocol
+from repro.core.recovery import CrashInjector, RecoveryAnalysis
+from repro.util.rng import make_rng
+from repro.util.units import MB, TB
+
+BLOCK = 64
+PROTOCOLS = ("leaf", "anubis", "amnt")
+
+
+class SecureKVStore:
+    """A fixed-capacity KV store over integrity-protected SCM.
+
+    Keys are strings hashed to a block slot (open addressing); values
+    are byte strings up to 48 bytes (the rest of the 64 B block holds
+    the key fingerprint and length). This is deliberately simple — the
+    point is that *every* store byte crosses the secure-memory engine.
+    """
+
+    SLOTS = 4096
+
+    def __init__(self, mee: MemoryEncryptionEngine) -> None:
+        self.mee = mee
+
+    def _slot_of(self, key: str) -> int:
+        digest = 2166136261
+        for char in key:
+            digest = ((digest ^ ord(char)) * 16777619) & 0xFFFFFFFF
+        return digest % self.SLOTS
+
+    def _fingerprint(self, key: str) -> bytes:
+        return self.mee.engine.mac(key.encode())[:8]
+
+    def _addr(self, slot: int) -> int:
+        return slot * BLOCK
+
+    def put(self, key: str, value: bytes) -> None:
+        if len(value) > 48:
+            raise ValueError("value too large for one block")
+        slot = self._slot_of(key)
+        record = (
+            self._fingerprint(key)
+            + len(value).to_bytes(2, "little")
+            + value.ljust(48, b"\x00")
+        ).ljust(BLOCK, b"\x00")
+        self.mee.write_block(self._addr(slot), data=record)
+
+    def get(self, key: str) -> Optional[bytes]:
+        slot = self._slot_of(key)
+        record = self.mee.read_block_data(self._addr(slot))
+        if record[:8] != self._fingerprint(key):
+            return None  # empty slot or hash collision
+        length = int.from_bytes(record[8:10], "little")
+        return record[10 : 10 + length]
+
+
+def run_protocol(name: str) -> None:
+    config = default_config(capacity_bytes=64 * MB)
+    mee = MemoryEncryptionEngine(
+        config, make_protocol(name, config), functional=True
+    )
+    store = SecureKVStore(mee)
+    rng = make_rng(f"kv/{name}")
+
+    acknowledged: Dict[str, bytes] = {}
+    crash_at = 150
+    for i in range(200):
+        if i == crash_at:
+            outcome = CrashInjector(mee).crash_and_recover()
+            status = "OK" if outcome.ok else "FAILED"
+            print(f"  power failure at op {i}: recovery {status} "
+                  f"({outcome.nodes_recomputed} nodes recomputed)")
+        key = f"user:{rng.randrange(80):03d}"
+        value = f"v{i}".encode()
+        store.put(key, value)
+        acknowledged[key] = value
+
+    lost = sum(
+        1 for key, value in acknowledged.items() if store.get(key) != value
+    )
+    persists = mee.nvm.persists()
+    recovery = RecoveryAnalysis(default_config())
+    bound_ms = recovery.recovery_ms(name if name != "amnt" else "amnt", 2 * TB)
+    print(
+        f"  audit: {len(acknowledged) - lost}/{len(acknowledged)} records "
+        f"intact, {persists:,} persist writes, "
+        f"recovery bound @2TB = {bound_ms:,.2f} ms"
+    )
+    if lost:
+        raise SystemExit(f"{name}: lost {lost} acknowledged records!")
+
+
+def main() -> None:
+    print("secure KV store on SCM: PUT stream with a mid-run power failure\n")
+    for name in PROTOCOLS:
+        print(f"protocol: {name}")
+        run_protocol(name)
+        print()
+    print(
+        "All three protocols preserve every acknowledged PUT; they differ"
+        "\nin how many NVM persist writes the stream cost (runtime) and in"
+        "\nthe recovery bound (leaf rebuilds the whole tree, Anubis replays"
+        "\nits shadow table, AMNT rebuilds one subtree region)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Quickstart: run one workload under every persistence protocol.
+
+Builds the paper's Table 1 machine, generates a write-intensive PARSEC
+workload (fluidanimate), and prints the normalized-cycles comparison —
+a one-benchmark slice of Figure 4 — together with AMNT's internal
+statistics (subtree hit rate, movements, persist traffic).
+
+Run:  python examples/quickstart.py [--accesses N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import default_config, normalized_cycles, run_protocol_sweep
+from repro.workloads.parsec import parsec_profile
+from repro.workloads.synthetic import generate_trace
+
+PROTOCOLS = ("volatile", "leaf", "strict", "anubis", "bmf", "amnt")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--accesses",
+        type=int,
+        default=60_000,
+        help="trace length (longer = sharper numbers, same shapes)",
+    )
+    parser.add_argument(
+        "--benchmark",
+        default="fluidanimate",
+        help="PARSEC benchmark profile to run",
+    )
+    args = parser.parse_args()
+
+    config = default_config()
+    profile = parsec_profile(args.benchmark).scaled(accesses=args.accesses)
+    trace = generate_trace(profile, seed=1)
+    print(
+        f"workload: {profile.name}  accesses={len(trace):,}  "
+        f"write-fraction={trace.write_fraction():.2f}"
+    )
+    print(f"machine:  8GB PCM, 64kB metadata cache, subtree level 3\n")
+
+    results = run_protocol_sweep(trace, config, PROTOCOLS, seed=1)
+    normalized = normalized_cycles(results)
+
+    print(f"{'protocol':10s} {'norm.cycles':>11s} {'persists':>10s} "
+          f"{'md-hit':>7s}  notes")
+    for name in PROTOCOLS:
+        result = results[name]
+        notes = ""
+        hit_rate = result.subtree_hit_rate()
+        if hit_rate is not None:
+            movements = result.protocol_stats.get(
+                "protocol.amnt.movements", 0
+            )
+            notes = f"subtree-hit={hit_rate:.1%}, movements={movements}"
+        print(
+            f"{name:10s} {normalized[name]:>11.3f} "
+            f"{result.persist_traffic():>10,} "
+            f"{result.mdcache_hit_rate:>7.1%}  {notes}"
+        )
+
+    from repro.bench.charts import bar_chart
+
+    print()
+    print(
+        bar_chart(
+            {name: normalized[name] for name in PROTOCOLS},
+            title="normalized cycles (| marks the volatile baseline)",
+            reference=1.0,
+        )
+    )
+    print(
+        "\nReading the table: 'volatile' is ordinary (non-crash-consistent)"
+        "\nsecure memory — the paper's normalization baseline. Strict"
+        "\npersistence pays a write-through of the whole BMT path per write;"
+        "\nleaf persistence only persists the counter+HMAC; AMNT matches leaf"
+        "\nwhile keeping recovery bounded to one 128MB subtree region."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""repro — A Midsummer Night's Tree (AMNT) reproduction library.
+
+A pure-Python, trace-driven reproduction of *A Midsummer Night's Tree:
+Efficient and High Performance Secure SCM* (ASPLOS 2024): secure-memory
+substrates (counter-mode encryption, HMACs, Bonsai Merkle Trees,
+metadata caches, a PCM device model, a buddy-allocator OS layer),
+the AMNT protocol and AMNT++ OS co-design, the paper's baselines and
+comparators (strict/leaf persistence, Osiris, Anubis, Bonsai Merkle
+Forest), and the benchmark harnesses regenerating every table and
+figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import default_config, build_machine, simulate
+    from repro.workloads.parsec import parsec_profile
+    from repro.workloads.synthetic import generate_trace
+
+    config = default_config()
+    trace = generate_trace(parsec_profile("fluidanimate"), seed=1)
+    machine = build_machine(config, "amnt")
+    result = simulate(machine, trace)
+    print(result.cycles, result.subtree_hit_rate())
+"""
+
+from repro.config import (
+    AMNTConfig,
+    MetadataCacheConfig,
+    PCMConfig,
+    SecurityConfig,
+    SystemConfig,
+    default_config,
+)
+from repro.core import (
+    AMNTProtocol,
+    AnubisProtocol,
+    BMFProtocol,
+    CrashInjector,
+    HistoryBuffer,
+    LeafPersistenceProtocol,
+    MemoryEncryptionEngine,
+    MetadataPersistencePolicy,
+    OsirisProtocol,
+    RecoveryAnalysis,
+    StrictPersistenceProtocol,
+    VolatileProtocol,
+    make_protocol,
+    protocol_area_table,
+    protocol_names,
+)
+from repro.errors import (
+    ConfigError,
+    CrashConsistencyError,
+    IntegrityError,
+    ReproError,
+    SecurityError,
+)
+from repro.sim import (
+    Machine,
+    SimulationResult,
+    build_machine,
+    normalized_cycles,
+    run_protocol_sweep,
+    simulate,
+    sweep_normalized,
+)
+from repro.workloads import Trace, WorkloadProfile, generate_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "SystemConfig",
+    "PCMConfig",
+    "SecurityConfig",
+    "MetadataCacheConfig",
+    "AMNTConfig",
+    "default_config",
+    # protocols & engine
+    "MemoryEncryptionEngine",
+    "MetadataPersistencePolicy",
+    "make_protocol",
+    "protocol_names",
+    "VolatileProtocol",
+    "StrictPersistenceProtocol",
+    "LeafPersistenceProtocol",
+    "OsirisProtocol",
+    "AnubisProtocol",
+    "BMFProtocol",
+    "AMNTProtocol",
+    "HistoryBuffer",
+    "CrashInjector",
+    "RecoveryAnalysis",
+    "protocol_area_table",
+    # simulation
+    "Machine",
+    "build_machine",
+    "simulate",
+    "SimulationResult",
+    "normalized_cycles",
+    "run_protocol_sweep",
+    "sweep_normalized",
+    # workloads
+    "Trace",
+    "WorkloadProfile",
+    "generate_trace",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "SecurityError",
+    "IntegrityError",
+    "CrashConsistencyError",
+]

@@ -1,0 +1,39 @@
+"""Benchmark experiment definitions and reporting.
+
+One function per table/figure of the paper's evaluation section; the
+pytest-benchmark harnesses in ``benchmarks/`` are thin wrappers that
+time these and print the regenerated rows/series. Keeping the
+experiment logic in the library (rather than in the benchmark files)
+means examples and notebooks can regenerate any figure too.
+"""
+
+from repro.bench.experiments import (
+    fig3_hotness,
+    fig4_single_program,
+    fig5_multiprogram,
+    fig6_fig7_level_sweep,
+    fig8_spec,
+    table2_os_cost,
+    table3_area,
+    table4_recovery,
+)
+from repro.bench.charts import bar_chart, grouped_bar_chart
+from repro.bench.export import export_experiment, load_experiment
+from repro.bench.reporting import format_series, format_table
+
+__all__ = [
+    "bar_chart",
+    "grouped_bar_chart",
+    "export_experiment",
+    "load_experiment",
+    "fig3_hotness",
+    "fig4_single_program",
+    "fig5_multiprogram",
+    "fig6_fig7_level_sweep",
+    "fig8_spec",
+    "table2_os_cost",
+    "table3_area",
+    "table4_recovery",
+    "format_table",
+    "format_series",
+]

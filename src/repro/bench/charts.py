@@ -1,0 +1,118 @@
+"""Terminal bar charts for the figure harnesses.
+
+The paper's figures are grouped bar charts; the harness's aligned
+tables carry the numbers, and these renderers carry the *shape* — a
+reader eyeballing `pytest benchmarks/ -s` output can see who wins the
+way they would in the paper. Pure text, no plotting dependency.
+
+Two renderers:
+
+* :func:`bar_chart` — one bar per label, scaled to a shared axis, with
+  an optional reference marker (the ``1.0`` baseline of normalized
+  figures);
+* :func:`grouped_bar_chart` — the Figure 4/5/8 shape: one group per
+  workload, one bar per protocol within it.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+Number = float
+
+FULL = "█"
+PARTIAL = "▌"
+
+
+def _render_bar(value: Number, scale: Number, width: int) -> str:
+    if scale <= 0:
+        return ""
+    cells = value / scale * width
+    whole = int(cells)
+    bar = FULL * whole
+    if cells - whole >= 0.5 and whole < width:
+        bar += PARTIAL
+    return bar
+
+
+def bar_chart(
+    values: Mapping[str, Number],
+    title: str = "",
+    width: int = 40,
+    reference: Optional[Number] = None,
+    precision: int = 3,
+) -> str:
+    """Render ``{label: value}`` as horizontal bars on one axis.
+
+    ``reference`` draws a marker column (e.g. the normalized-cycles
+    baseline at 1.0) so above/below baseline is visible at a glance.
+    """
+    if not values:
+        return f"{title}\n(empty)" if title else "(empty)"
+    scale = max(values.values())
+    if reference is not None:
+        scale = max(scale, reference)
+    label_width = max(len(label) for label in values)
+    lines = [title] if title else []
+    marker = (
+        min(width - 1, int(reference / scale * width))
+        if reference and scale > 0
+        else None
+    )
+    for label, value in values.items():
+        bar = _render_bar(value, scale, width)
+        row = list(bar.ljust(width))
+        if marker is not None and 0 <= marker < width:
+            if row[marker] == " ":
+                row[marker] = "|"
+        lines.append(
+            f"{label.ljust(label_width)}  {''.join(row)} {value:.{precision}f}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    series: Mapping[str, Mapping[str, Number]],
+    members: Optional[Sequence[str]] = None,
+    title: str = "",
+    width: int = 40,
+    reference: Optional[Number] = None,
+    precision: int = 3,
+) -> str:
+    """Render ``{group: {member: value}}`` as grouped bars.
+
+    All groups share one axis so cross-group comparison works, exactly
+    like the paper's figures. ``members`` fixes the bar order (default:
+    the first group's key order).
+    """
+    if not series:
+        return f"{title}\n(empty)" if title else "(empty)"
+    first_group = next(iter(series.values()))
+    members = list(members) if members else list(first_group)
+    scale = max(
+        group.get(member, 0.0)
+        for group in series.values()
+        for member in members
+    )
+    if reference is not None:
+        scale = max(scale, reference)
+    member_width = max(len(member) for member in members)
+    lines = [title] if title else []
+    marker = (
+        min(width - 1, int(reference / scale * width))
+        if reference is not None and scale > 0
+        else None
+    )
+    for group_label, group in series.items():
+        lines.append(f"{group_label}:")
+        for member in members:
+            value = group.get(member, 0.0)
+            row = list(_render_bar(value, scale, width).ljust(width))
+            if marker is not None and 0 <= marker < width:
+                if row[marker] == " ":
+                    row[marker] = "|"
+            lines.append(
+                f"  {member.ljust(member_width)}  {''.join(row)} "
+                f"{value:.{precision}f}"
+            )
+    return "\n".join(lines)

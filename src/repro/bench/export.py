@@ -1,0 +1,56 @@
+"""Machine-readable export of experiment outputs.
+
+The harness prints aligned tables for humans; this module serializes
+the same structures to JSON so plots and regression dashboards can be
+built without re-running simulations. Every exported document carries
+the experiment id, the library version, and the parameters used, so a
+results file is self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+
+def _jsonable(value: Any) -> Any:
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in asdict(value).items()}
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def export_experiment(
+    experiment_id: str,
+    data: Any,
+    path: Path,
+    parameters: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write one experiment's output as a self-describing JSON file."""
+    from repro import __version__
+
+    document = {
+        "experiment": experiment_id,
+        "library_version": __version__,
+        "parameters": _jsonable(parameters or {}),
+        "data": _jsonable(data),
+    }
+    path = Path(path)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True))
+    return path
+
+
+def load_experiment(path: Path) -> Dict[str, Any]:
+    """Read a document written by :func:`export_experiment`."""
+    document = json.loads(Path(path).read_text())
+    for key in ("experiment", "library_version", "data"):
+        if key not in document:
+            raise ValueError(f"not an experiment export: missing {key!r}")
+    return document

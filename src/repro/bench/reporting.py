@@ -1,0 +1,65 @@
+"""Plain-text table/series rendering for benchmark output.
+
+The paper's figures are bar charts and its tables are small grids; the
+harness reproduces both as aligned monospace tables so `pytest
+benchmarks/ -s` output can be compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Union
+
+Number = Union[int, float]
+Cell = Union[str, Number]
+
+
+def _fmt_cell(value: Cell, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Cell]],
+    columns: Sequence[str] = (),
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render dict-rows as an aligned monospace table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    rendered: List[List[str]] = [
+        [_fmt_cell(row.get(column, ""), precision) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Mapping[str, Number]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render {row_label: {column_label: value}} as a grid (one row per
+    outer key) — the shape of every normalized-cycles figure."""
+    rows = []
+    for label, values in series.items():
+        row: Dict[str, Cell] = {"workload": label}
+        row.update(values)
+        rows.append(row)
+    return format_table(rows, title=title, precision=precision)

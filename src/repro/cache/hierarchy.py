@@ -1,0 +1,103 @@
+"""Data-side cache model in front of the memory encryption engine.
+
+The paper's protocols act on *memory traffic* — LLC fills and dirty
+writebacks — not on every CPU reference, so the simulator only needs
+the filter that turns a reference stream into that traffic. We model
+the last-level cache faithfully (set-associative, write-allocate,
+write-back) and fold the upper levels into a per-access hit latency;
+with the intentionally small caches the paper configures, LLC behaviour
+dominates the interesting effects.
+
+:class:`DataCache` converts each CPU read/write into a
+:class:`MemoryTraffic` record telling the engine which block fills and
+which dirty victims write back this access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cache.cache import SetAssociativeCache, build_cache
+from repro.config import DataCacheConfig
+from repro.mem.address import AddressSpace
+
+
+@dataclass(frozen=True)
+class MemoryTraffic:
+    """Memory-side consequences of one CPU reference.
+
+    ``fill_block`` is the block index fetched from memory (``None`` on
+    a cache hit); ``writeback_blocks`` are dirty victim block indices
+    that must be written to memory this access; ``hit`` records whether
+    the reference itself hit in the cache.
+    """
+
+    hit: bool
+    fill_block: Optional[int] = None
+    writeback_blocks: tuple = ()
+
+
+class DataCache:
+    """Write-back, write-allocate LLC over physical block indices."""
+
+    def __init__(
+        self,
+        config: DataCacheConfig,
+        address_space: AddressSpace,
+        name: str = "llc",
+    ) -> None:
+        self.config = config
+        self.address_space = address_space
+        # Block index low bits give natural set interleaving for data.
+        self._cache = build_cache(
+            config.capacity_bytes,
+            config.line_bytes,
+            config.associativity,
+            name=name,
+            set_of=lambda key: key,  # keys are block indices
+        )
+
+    @property
+    def stats(self):
+        return self._cache.stats
+
+    def access(self, addr: int, is_write: bool) -> MemoryTraffic:
+        """Run one CPU reference; returns resulting memory traffic."""
+        block = self.address_space.block_index(addr)
+        if self._cache.lookup(block):
+            if is_write:
+                self._cache.mark_dirty(block)
+            return MemoryTraffic(hit=True)
+        victim = self._cache.insert(block, dirty=is_write)
+        writebacks: List[int] = []
+        if victim is not None and victim.dirty:
+            writebacks.append(victim.key)
+        return MemoryTraffic(
+            hit=False,
+            fill_block=block,
+            writeback_blocks=tuple(writebacks),
+        )
+
+    def flush(self) -> List[int]:
+        """Write back and drop every line; returns dirty block indices.
+
+        Models a full cache flush (e.g. at region-of-interest end so
+        trailing writebacks are attributed to the run that caused them).
+        """
+        return [line.key for line in self._cache.flush_all() if line.dirty]
+
+    def flush_block(self, addr: int) -> Optional[int]:
+        """CLWB-style single-line flush; returns the block if it was
+        dirty (and therefore produced a memory write)."""
+        block = self.address_space.block_index(addr)
+        if self._cache.is_dirty(block):
+            self._cache.clean(block)
+            return block
+        return None
+
+    def hit_rate(self) -> float:
+        return self._cache.hit_rate()
+
+    def occupancy(self) -> int:
+        return self._cache.occupancy()

@@ -1,0 +1,117 @@
+"""The on-chip security-metadata cache.
+
+Holds encryption counter blocks, BMT integrity nodes, and data-HMAC
+lines, all competing for the same 64 kB (Table 1). Keys are tagged
+tuples so the three metadata kinds share sets without colliding:
+
+* ``("ctr", counter_block_index)``
+* ``("node", level, index)``
+* ``("hmac", hmac_line_index)``
+
+Beyond the generic cache operations, this class supports the dirty-bit
+scan AMNT uses when the fast subtree moves: under AMNT only in-subtree
+tree nodes can ever be dirty (everything else is written through), so
+scanning the dirty bits yields exactly the nodes to flush (§4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Tuple
+
+from repro.cache.cache import EvictedLine, SetAssociativeCache, build_cache
+from repro.config import MetadataCacheConfig
+
+#: Metadata cache key forms.
+CounterKey = Tuple[str, int]
+NodeKey = Tuple[str, int, int]
+HmacKey = Tuple[str, int]
+
+
+def counter_key(counter_block_index: int) -> CounterKey:
+    return ("ctr", counter_block_index)
+
+
+def node_key(level: int, index: int) -> NodeKey:
+    return ("node", level, index)
+
+
+def hmac_key(hmac_line_index: int) -> HmacKey:
+    return ("hmac", hmac_line_index)
+
+
+class MetadataCache:
+    """Unified security-metadata cache with typed key helpers."""
+
+    def __init__(self, config: MetadataCacheConfig, name: str = "mdcache") -> None:
+        self.config = config
+        self._cache = build_cache(
+            config.capacity_bytes,
+            config.line_bytes,
+            config.associativity,
+            name=name,
+        )
+
+    # Delegation — the protocols drive the cache through these.
+
+    @property
+    def stats(self):
+        return self._cache.stats
+
+    @property
+    def access_latency_cycles(self) -> int:
+        return self.config.access_latency_cycles
+
+    def lookup(self, key) -> bool:
+        return self._cache.lookup(key)
+
+    def contains(self, key) -> bool:
+        return self._cache.contains(key)
+
+    def insert(self, key, dirty: bool = False) -> EvictedLine | None:
+        return self._cache.insert(key, dirty)
+
+    def mark_dirty(self, key) -> None:
+        self._cache.mark_dirty(key)
+
+    def clean(self, key) -> None:
+        self._cache.clean(key)
+
+    def is_dirty(self, key) -> bool:
+        return self._cache.is_dirty(key)
+
+    def invalidate(self, key):
+        return self._cache.invalidate(key)
+
+    def drop_all(self) -> List[EvictedLine]:
+        return self._cache.drop_all()
+
+    def hit_rate(self) -> float:
+        return self._cache.hit_rate()
+
+    def occupancy(self) -> int:
+        return self._cache.occupancy()
+
+    def capacity_lines(self) -> int:
+        return self._cache.capacity_lines
+
+    # -- AMNT support: the subtree-movement dirty scan -------------------
+
+    def dirty_tree_nodes(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(level, index)`` of every dirty BMT node line."""
+        for line in self._cache.dirty_lines():
+            key = line.key
+            if isinstance(key, tuple) and key[0] == "node":
+                yield (key[1], key[2])
+
+    def dirty_nodes_matching(
+        self, predicate: Callable[[int, int], bool]
+    ) -> List[Tuple[int, int]]:
+        """Dirty node lines satisfying ``predicate(level, index)``.
+
+        AMNT passes a subtree-membership predicate here on movement.
+        """
+        return [
+            (level, index)
+            for level, index in self.dirty_tree_nodes()
+            if predicate(level, index)
+        ]

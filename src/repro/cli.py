@@ -1,0 +1,285 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+* ``sweep`` — run one benchmark profile under a set of protocols and
+  print the normalized-cycles table (one bar group of Figure 4/8);
+* ``experiment`` — regenerate a whole paper artifact by name
+  (``fig3``..``fig8``, ``table2``..``table4``);
+* ``area-table`` — print Table 3;
+* ``recovery-table`` — print Table 4;
+* ``protocols`` — list registered protocols.
+
+Everything the CLI does is a thin wrapper over the public API, so the
+printed numbers are identical to what the pytest benchmark harness
+reports for the same sizes and seeds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import experiments
+from repro.bench.reporting import format_series, format_table
+from repro.config import default_config
+from repro.core.protocol import protocol_names
+from repro.sim.runner import FIGURE_PROTOCOLS, sweep_normalized
+from repro.workloads.parsec import PARSEC_PROFILES, parsec_profile
+from repro.workloads.spec import SPEC_PROFILES, spec_profile
+from repro.workloads.synthetic import generate_trace
+
+
+def _profile_for(name: str):
+    if name in PARSEC_PROFILES:
+        return parsec_profile(name)
+    if name in SPEC_PROFILES:
+        return spec_profile(name)
+    known = sorted(set(PARSEC_PROFILES) | set(SPEC_PROFILES))
+    raise SystemExit(f"unknown benchmark {name!r}; known: {known}")
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    config = default_config(subtree_level=args.subtree_level)
+    profile = _profile_for(args.benchmark).scaled(accesses=args.accesses)
+    trace = generate_trace(profile, seed=args.seed)
+    normalized = sweep_normalized(
+        trace,
+        config,
+        protocols=tuple(args.protocols),
+        seed=args.seed,
+        scatter_span_chunks=args.scatter_chunks,
+    )
+    rows = [
+        {"protocol": name, "normalized_cycles": value}
+        for name, value in normalized.items()
+    ]
+    print(
+        format_table(
+            rows,
+            title=f"{args.benchmark} ({args.accesses} accesses, "
+            f"subtree level {args.subtree_level})",
+        )
+    )
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    name = args.name
+    if name == "fig3":
+        print(format_series(experiments.fig3_hotness(accesses=args.accesses)))
+    elif name == "fig4":
+        print(
+            format_series(
+                experiments.fig4_single_program(accesses=args.accesses),
+                title="Figure 4",
+            )
+        )
+    elif name == "fig5":
+        print(
+            format_series(
+                experiments.fig5_multiprogram(accesses_each=args.accesses // 2),
+                title="Figure 5",
+            )
+        )
+    elif name in ("fig6", "fig7"):
+        sweep = experiments.fig6_fig7_level_sweep(
+            accesses_each=args.accesses // 2
+        )
+        key = "cycles" if name == "fig6" else "hitrate"
+        rows = []
+        for pair, series in sweep.items():
+            for protocol in ("amnt", "amnt++"):
+                row = {"workload": pair, "protocol": protocol}
+                row.update(
+                    {
+                        f"L{level}": value
+                        for level, value in series[f"{protocol}_{key}"].items()
+                    }
+                )
+                rows.append(row)
+        print(format_table(rows, title=f"Figure {name[-1]} ({key})"))
+    elif name == "fig8":
+        print(
+            format_series(
+                experiments.fig8_spec(accesses=args.accesses), title="Figure 8"
+            )
+        )
+    elif name == "table2":
+        print(
+            format_table(
+                experiments.table2_os_cost(accesses_each=args.accesses // 2),
+                title="Table 2",
+            )
+        )
+    elif name == "table3":
+        return cmd_area_table(args)
+    elif name == "table4":
+        return cmd_recovery_table(args)
+    else:
+        raise SystemExit(f"unknown experiment {name!r}")
+    return 0
+
+
+def cmd_area_table(_args: argparse.Namespace) -> int:
+    rows = [row.row() for row in experiments.table3_area()]
+    print(format_table(rows, title="Table 3 — hardware overheads"))
+    return 0
+
+
+def cmd_recovery_table(_args: argparse.Namespace) -> int:
+    print(
+        format_table(
+            experiments.table4_recovery(),
+            title="Table 4 — recovery time (ms)",
+            precision=2,
+        )
+    )
+    return 0
+
+
+def cmd_protocols(_args: argparse.Namespace) -> int:
+    for name in protocol_names():
+        print(name)
+    return 0
+
+
+def cmd_profiles(_args: argparse.Namespace) -> int:
+    from repro.workloads.storage import STORAGE_PROFILES
+
+    rows = []
+    for suite, profiles in (
+        ("parsec", PARSEC_PROFILES),
+        ("spec", SPEC_PROFILES),
+    ):
+        for profile in profiles.values():
+            rows.append(
+                {
+                    "suite": suite,
+                    "benchmark": profile.name,
+                    "footprint_mb": profile.footprint_bytes // (1024 * 1024),
+                    "write_frac": profile.write_fraction,
+                    "seq_frac": profile.sequential_fraction,
+                    "think": profile.think_cycles,
+                }
+            )
+    for storage in STORAGE_PROFILES.values():
+        rows.append(
+            {
+                "suite": "storage",
+                "benchmark": storage.name,
+                "footprint_mb": storage.base.footprint_bytes // (1024 * 1024),
+                "write_frac": storage.base.write_fraction,
+                "seq_frac": storage.base.sequential_fraction,
+                "think": storage.base.think_cycles,
+            }
+        )
+    rows.sort(key=lambda row: (row["suite"], row["benchmark"]))
+    print(format_table(rows, title="Workload profiles", precision=2))
+    return 0
+
+
+def cmd_crash_drill(args: argparse.Namespace) -> int:
+    """Functional crash/recovery drill: write, pull the plug, recover,
+    audit — the quickest way to see a protocol's guarantee in action."""
+    from repro.core.mee import MemoryEncryptionEngine
+    from repro.core.protocol import make_protocol
+    from repro.core.recovery import CrashInjector
+    from repro.util.units import MB
+
+    config = default_config(capacity_bytes=64 * MB)
+    mee = MemoryEncryptionEngine(
+        config, make_protocol(args.protocol, config), functional=True
+    )
+    records = {}
+    for i in range(args.records):
+        # 48 pages x 64 blocks: unique addresses up to 3072 records.
+        addr = (i % 48) * 4096 + (i // 48) * 64
+        payload = f"drill-{i:05d}".encode().ljust(64, b"\x00")
+        mee.write_block(addr, data=payload)
+        records[addr] = payload
+    outcome = CrashInjector(mee).crash_and_recover()
+    intact = sum(
+        1 for addr, payload in records.items()
+        if outcome.ok and mee.read_block_data(addr) == payload
+    )
+    print(
+        f"protocol={args.protocol}  recovery="
+        f"{'OK' if outcome.ok else 'FAILED'}  "
+        f"nodes_recomputed={outcome.nodes_recomputed}  "
+        f"records_intact={intact}/{len(records)}"
+        + (f"  ({outcome.detail})" if outcome.detail else "")
+    )
+    return 0 if outcome.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="AMNT reproduction command-line interface"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    sweep = commands.add_parser(
+        "sweep", help="run one benchmark under several protocols"
+    )
+    sweep.add_argument("benchmark", help="PARSEC or SPEC profile name")
+    sweep.add_argument("--accesses", type=int, default=60_000)
+    sweep.add_argument("--seed", type=int, default=2024)
+    sweep.add_argument("--subtree-level", type=int, default=3)
+    sweep.add_argument("--scatter-chunks", type=int, default=0)
+    sweep.add_argument(
+        "--protocols",
+        nargs="+",
+        default=list(FIGURE_PROTOCOLS),
+        choices=protocol_names(),
+    )
+    sweep.set_defaults(handler=cmd_sweep)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a paper table or figure"
+    )
+    experiment.add_argument(
+        "name",
+        choices=[
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "table2", "table3", "table4",
+        ],
+    )
+    experiment.add_argument("--accesses", type=int, default=40_000)
+    experiment.set_defaults(handler=cmd_experiment)
+
+    area = commands.add_parser("area-table", help="print Table 3")
+    area.set_defaults(handler=cmd_area_table)
+
+    recovery = commands.add_parser("recovery-table", help="print Table 4")
+    recovery.set_defaults(handler=cmd_recovery_table)
+
+    protocols = commands.add_parser("protocols", help="list protocols")
+    protocols.set_defaults(handler=cmd_protocols)
+
+    profiles = commands.add_parser(
+        "profiles", help="list workload profiles and their parameters"
+    )
+    profiles.set_defaults(handler=cmd_profiles)
+
+    drill = commands.add_parser(
+        "crash-drill",
+        help="functional crash/recovery drill for one protocol",
+    )
+    drill.add_argument(
+        "--protocol", default="amnt", choices=protocol_names()
+    )
+    drill.add_argument("--records", type=int, default=150)
+    drill.set_defaults(handler=cmd_crash_drill)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

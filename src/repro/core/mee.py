@@ -1,0 +1,450 @@
+"""The Memory Encryption Engine (MEE): the shared secure-memory datapath.
+
+Every data block that crosses the trusted chip boundary passes through
+this engine. The mechanics are identical for every protocol in the
+paper — what differs is *which metadata writes are forced through to
+NVM and when*, which is delegated to the bound
+:class:`~repro.core.protocol.MetadataPersistencePolicy`.
+
+Read path (authentication):
+  1. fetch the data block from NVM;
+  2. fetch its counter block through the metadata cache;
+  3. walk the BMT ancestor path until the first *trusted* anchor — a
+     cached node (on-chip means trusted), a protocol NV register (the
+     AMNT subtree root, a BMF persistent root), or the global root
+     register — fetching missing nodes from NVM along the way;
+  4. fetch the block's HMAC line;
+  5. in functional mode, actually verify hashes and the MAC, decrypt,
+     and raise :class:`~repro.errors.IntegrityError` on any mismatch.
+
+Write path (a dirty block leaving the LLC, or an explicit persist):
+  1. read-modify-write the counter (fetch, bump, mark dirty);
+  2. update the HMAC line (fetch, mark dirty);
+  3. update every BMT node on the ancestor path in the cache (fetch,
+     mark dirty) — the tree must reflect the new counter;
+  4. write the (encrypted) data block to NVM;
+  5. hand control to the protocol, which persists whichever of the
+     dirty lines its crash-consistency model requires and charges the
+     extra cycles.
+
+Dirty metadata evicted from the cache is lazily written back to NVM by
+the engine (the volatile baseline's only metadata traffic); protocols
+hook fills and writebacks for their own bookkeeping (Anubis's shadow
+table lives entirely in those hooks).
+
+Timing and function are separable: built with ``functional=False`` the
+engine tracks cache/NVM events and cycles only; with
+``functional=True`` it additionally maintains real encrypted bytes,
+counters, MACs, and tree hashes, so tamper and crash-recovery tests
+exercise the same code path the timing runs measure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.metadata_cache import (
+    MetadataCache,
+    counter_key,
+    hmac_key,
+    node_key,
+)
+from repro.config import SystemConfig
+from repro.core.protocol import MetadataPersistencePolicy
+from repro.crypto.engine import CryptoEngine, RealCryptoEngine
+from repro.crypto.hmac import data_mac
+from repro.errors import IntegrityError
+from repro.integrity.bmt import BonsaiMerkleTree
+from repro.integrity.geometry import NodeId, TreeGeometry
+from repro.mem.address import AddressSpace
+from repro.mem.backend import MetadataRegion, SparseMemory
+from repro.mem.nvm import NVMDevice
+from repro.persist.root_register import RegisterFile
+from repro.util.stats import StatRegistry
+
+#: MACs per 64 B HMAC line (8 x 8 B).
+MACS_PER_LINE = 8
+
+
+def _region_of_key(key: tuple) -> MetadataRegion:
+    kind = key[0]
+    if kind == "ctr":
+        return MetadataRegion.COUNTERS
+    if kind == "node":
+        return MetadataRegion.TREE
+    if kind == "hmac":
+        return MetadataRegion.HMACS
+    raise ValueError(f"unknown metadata key kind {kind!r}")
+
+
+class MemoryEncryptionEngine:
+    """Secure-memory controller: caches, tree, protocol, and timing."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        protocol: MetadataPersistencePolicy,
+        nvm: Optional[NVMDevice] = None,
+        functional: bool = False,
+        engine: Optional[CryptoEngine] = None,
+    ) -> None:
+        self.config = config
+        self.geometry = TreeGeometry.from_config(config)
+        self.address_space = AddressSpace(
+            config.pcm.capacity_bytes,
+            block_bytes=config.security.block_bytes,
+            page_bytes=config.security.page_bytes,
+        )
+        self.functional = functional
+        backend = SparseMemory() if functional else None
+        self.nvm = nvm if nvm is not None else NVMDevice(config.pcm, backend=backend)
+        if functional and self.nvm.backend is None:
+            self.nvm.backend = SparseMemory()
+        self.mdcache = MetadataCache(config.metadata_cache)
+        self.registers = RegisterFile()
+        self.stats = StatRegistry("mee")
+        self._path_memo: Dict[int, List[NodeId]] = {}
+        # Posted (queued) writes expose only part of the device latency
+        # to the critical path; persists always pay it all.
+        self._posted_write_cycles = max(
+            1,
+            int(
+                self.nvm.write_latency_cycles
+                * config.pcm.posted_write_latency_fraction
+            ),
+        )
+
+        self.engine: Optional[CryptoEngine] = None
+        self.tree: Optional[BonsaiMerkleTree] = None
+        self._volatile_hmacs: Dict[int, bytes] = {}
+        #: Optional wear instrumentation (repro.mem.wear). When set,
+        #: protocols report their private-region writes (e.g. Anubis's
+        #: shadow table) here; the engine's own write paths are wrapped
+        #: by attach_wear_tracking.
+        self.wear_tracker = None
+        if functional:
+            self.engine = engine if engine is not None else RealCryptoEngine()
+            self.tree = BonsaiMerkleTree(
+                self.geometry, self.engine, self.nvm.backend
+            )
+        # The global BMT root register exists in every protocol.
+        root = self.registers.allocate("bmt_root", 64)
+        if self.tree is not None:
+            root.write(self.tree.root_register)
+
+        self.protocol = protocol
+        protocol.bind(self)
+
+    # ------------------------------------------------------------------
+    # path helpers
+    # ------------------------------------------------------------------
+
+    def ancestor_path(self, counter_index: int) -> List[NodeId]:
+        """Memoized ancestor chain (leaf-parent .. root) for a counter."""
+        path = self._path_memo.get(counter_index)
+        if path is None:
+            path = self.geometry.ancestors_of_counter(counter_index)
+            self._path_memo[counter_index] = path
+        return path
+
+    def _hmac_line_of_block(self, block_index: int) -> int:
+        return block_index // MACS_PER_LINE
+
+    # ------------------------------------------------------------------
+    # metadata cache plumbing
+    # ------------------------------------------------------------------
+
+    def _fetch_metadata(self, key: tuple) -> Tuple[int, bool]:
+        """Bring a metadata line on-chip; returns (cycles, was_hit)."""
+        cycles = self.mdcache.access_latency_cycles
+        if self.mdcache.lookup(key):
+            return cycles, True
+        region = _region_of_key(key)
+        cycles += self.nvm.read_access(region)
+        victim = self.mdcache.insert(key)
+        cycles += self.protocol.on_metadata_fill(key)
+        if victim is not None and victim.dirty:
+            cycles += self._writeback_metadata(victim.key)
+        return cycles, False
+
+    def _writeback_metadata(self, key: tuple) -> int:
+        """Lazy writeback of a dirty metadata line on eviction (posted:
+        it drains from the write queue off the critical path)."""
+        region = _region_of_key(key)
+        self.nvm.write_access(region)
+        cycles = self._posted_write_cycles
+        self.stats.add("metadata_writebacks")
+        if self.functional:
+            self._sync_line_to_backend(key)
+        cycles += self.protocol.on_metadata_writeback(key)
+        return cycles
+
+    def _sync_line_to_backend(self, key: tuple) -> None:
+        """Functional mode: make NVM reflect the evicted line's value."""
+        kind = key[0]
+        assert self.tree is not None
+        if kind == "ctr":
+            self.tree.persist_counter(key[1])
+        elif kind == "node":
+            self.tree.persist_node((key[1], key[2]))
+        elif kind == "hmac":
+            line = key[1]
+            for block in range(line * MACS_PER_LINE, (line + 1) * MACS_PER_LINE):
+                mac = self._volatile_hmacs.pop(block, None)
+                if mac is not None:
+                    self.nvm.backend.write(MetadataRegion.HMACS, block, mac)
+
+    # ------------------------------------------------------------------
+    # persist helpers (called by protocols)
+    # ------------------------------------------------------------------
+
+    @property
+    def posted_write_cycles(self) -> int:
+        """Critical-path cost of a write that overlaps another in-flight
+        write (different NVM banks). Protocols charge this for the
+        second and later persists of an *unordered* group — e.g. leaf
+        persistence's HMAC line, which issues concurrently with its
+        counter line. Ordered (tree-walk) persists pay full latency."""
+        return self._posted_write_cycles
+
+    def persist_counter_line(self, counter_index: int) -> int:
+        """Write-through the counter line (crash-consistency persist)."""
+        cycles = self.nvm.write_access(MetadataRegion.COUNTERS, persist=True)
+        self.mdcache.clean(counter_key(counter_index))
+        if self.functional:
+            self.tree.persist_counter(counter_index)
+        return cycles
+
+    def persist_hmac_line(self, hmac_line: int) -> int:
+        cycles = self.nvm.write_access(MetadataRegion.HMACS, persist=True)
+        self.mdcache.clean(hmac_key(hmac_line))
+        if self.functional:
+            first = hmac_line * MACS_PER_LINE
+            for block in range(first, first + MACS_PER_LINE):
+                mac = self._volatile_hmacs.pop(block, None)
+                if mac is not None:
+                    self.nvm.backend.write(MetadataRegion.HMACS, block, mac)
+        return cycles
+
+    def persist_tree_node(self, node: NodeId) -> int:
+        cycles = self.nvm.write_access(MetadataRegion.TREE, persist=True)
+        self.mdcache.clean(node_key(node[0], node[1]))
+        if self.functional:
+            self.tree.persist_node(node)
+        return cycles
+
+    # ------------------------------------------------------------------
+    # functional content helpers
+    # ------------------------------------------------------------------
+
+    def _stored_mac(self, block_index: int, paddr: int) -> bytes:
+        mac = self._volatile_hmacs.get(block_index)
+        if mac is not None:
+            return mac
+        if self.nvm.backend.contains(MetadataRegion.HMACS, block_index):
+            return self.nvm.backend.read(
+                MetadataRegion.HMACS, block_index, self.engine.mac_bytes
+            )
+        # Genesis MAC: zero ciphertext under a zero counter.
+        zero_cipher = bytes(self.config.security.block_bytes)
+        return data_mac(self.engine, zero_cipher, paddr, 0, 0)
+
+    # ------------------------------------------------------------------
+    # the read path
+    # ------------------------------------------------------------------
+
+    def read_block(self, paddr: int) -> int:
+        """Authenticate-and-fetch one block; returns cycles.
+
+        In functional mode the plaintext is available afterwards via
+        :meth:`read_block_data`, which shares this code path.
+        """
+        cycles, _ = self._read_block_common(paddr)
+        return cycles
+
+    def read_block_data(self, paddr: int) -> bytes:
+        """Functional read: authenticate, decrypt, return plaintext."""
+        if not self.functional:
+            raise RuntimeError("read_block_data requires functional mode")
+        _, plaintext = self._read_block_common(paddr)
+        return plaintext
+
+    def _read_block_common(self, paddr: int) -> Tuple[int, bytes]:
+        block_index = self.address_space.block_index(paddr)
+        counter_index = self.address_space.page_index(paddr)
+        cycles = self.nvm.read_access(MetadataRegion.DATA)
+        self.stats.add("data_reads")
+
+        fetch_cycles, _ = self._fetch_metadata(counter_key(counter_index))
+        cycles += fetch_cycles
+
+        # Verification walk: stop at the first trusted anchor.
+        for node in self.ancestor_path(counter_index):
+            if self.protocol.trusted_register_node(node, counter_index):
+                self.stats.add("walk_stopped_at_register")
+                break
+            fetch_cycles, was_hit = self._fetch_metadata(
+                node_key(node[0], node[1])
+            )
+            cycles += fetch_cycles
+            if was_hit:
+                self.stats.add("walk_stopped_at_cache")
+                break
+        hmac_line = self._hmac_line_of_block(block_index)
+        fetch_cycles, _ = self._fetch_metadata(hmac_key(hmac_line))
+        cycles += fetch_cycles
+        cycles += self.protocol.on_read_authentication(counter_index)
+
+        plaintext = b""
+        if self.functional:
+            plaintext = self._verify_and_decrypt(
+                paddr, block_index, counter_index
+            )
+        return cycles, plaintext
+
+    def _verify_and_decrypt(
+        self, paddr: int, block_index: int, counter_index: int
+    ) -> bytes:
+        block_base = self.address_space.block_base(paddr)
+        if not self.nvm.backend.contains(MetadataRegion.DATA, block_index):
+            # Never-written memory is not yet under counter-mode
+            # encryption: it reads as zeros (still authenticated — the
+            # genesis MAC covers exactly this state).
+            self.tree.authenticate_or_raise(counter_index)
+            return bytes(self.config.security.block_bytes)
+        ciphertext = self.nvm.backend.read(
+            MetadataRegion.DATA, block_index, self.config.security.block_bytes
+        )
+        counter = self.tree.current_counter(counter_index)
+        offset = self.address_space.block_offset_in_page(paddr)
+        major, minor = counter.counter_for(offset)
+        expected_mac = data_mac(self.engine, ciphertext, block_base, major, minor)
+        if expected_mac != self._stored_mac(block_index, block_base):
+            raise IntegrityError(
+                f"HMAC mismatch for block {block_index} (addr {paddr:#x})"
+            )
+        self.tree.authenticate_or_raise(counter_index)
+        return self.engine.decrypt(ciphertext, block_base, major, minor)
+
+    # ------------------------------------------------------------------
+    # the write path
+    # ------------------------------------------------------------------
+
+    def write_block(
+        self,
+        paddr: int,
+        data: Optional[bytes] = None,
+        fenced: bool = False,
+    ) -> int:
+        """One data write reaching memory; returns cycles.
+
+        ``fenced`` marks an application persistence fence (CLWB +
+        sfence): the data write itself is synchronous rather than
+        posted, and the protocol's fence-ordered bookkeeping is charged
+        on the critical path.
+        """
+        block_index = self.address_space.block_index(paddr)
+        counter_index = self.address_space.page_index(paddr)
+        block_base = self.address_space.block_base(paddr)
+        self.stats.add("data_writes")
+
+        # 1. read-modify-write the counter.
+        cycles, _ = self._fetch_metadata(counter_key(counter_index))
+        self.mdcache.mark_dirty(counter_key(counter_index))
+        if self.functional:
+            self._functional_counter_bump_and_store(
+                paddr, block_base, block_index, counter_index, data
+            )
+
+        # 2. update the HMAC line in cache.
+        hmac_line = self._hmac_line_of_block(block_index)
+        fetch_cycles, _ = self._fetch_metadata(hmac_key(hmac_line))
+        cycles += fetch_cycles
+        self.mdcache.mark_dirty(hmac_key(hmac_line))
+
+        # 3. update the ancestor path in cache (protocols with an NV
+        #    trust anchor stop the update below it).
+        path = self.ancestor_path(counter_index)
+        extent = self.protocol.path_update_extent(counter_index, path)
+        for node in extent:
+            fetch_cycles, _ = self._fetch_metadata(node_key(node[0], node[1]))
+            cycles += fetch_cycles
+            self.mdcache.mark_dirty(node_key(node[0], node[1]))
+
+        # 4. the data write itself (posted, unless under a fence).
+        self.nvm.write_access(MetadataRegion.DATA)
+        cycles += (
+            self.nvm.write_latency_cycles if fenced else self._posted_write_cycles
+        )
+
+        # 5. protocol-specific persistence.
+        cycles += self.protocol.on_data_write(
+            counter_index, block_index, path, fenced=fenced
+        )
+        return cycles
+
+    def _functional_counter_bump_and_store(
+        self,
+        paddr: int,
+        block_base: int,
+        block_index: int,
+        counter_index: int,
+        data: Optional[bytes],
+    ) -> None:
+        block_bytes = self.config.security.block_bytes
+        plaintext = data if data is not None else bytes(block_bytes)
+        if len(plaintext) != block_bytes:
+            raise ValueError(f"data must be exactly {block_bytes} bytes")
+        offset = self.address_space.block_offset_in_page(paddr)
+        old_counter = self.tree.current_counter(counter_index).copy()
+        counter = old_counter.copy()
+        overflowed = counter.bump(offset)
+        if overflowed:
+            self.stats.add("minor_overflows")
+            self._reencrypt_page(counter_index, old_counter, counter)
+        self.tree.set_counter(counter_index, counter, persist=False)
+        major, minor = counter.counter_for(offset)
+        ciphertext = self.engine.encrypt(plaintext, block_base, major, minor)
+        self.nvm.backend.write(MetadataRegion.DATA, block_index, ciphertext)
+        self._volatile_hmacs[block_index] = data_mac(
+            self.engine, ciphertext, block_base, major, minor
+        )
+
+    def _reencrypt_page(self, counter_index, old_counter, new_counter) -> None:
+        """Minor-counter overflow: re-encrypt every stored block of the
+        page under the new major counter."""
+        blocks_per_page = self.config.security.counters_per_block
+        first_block = counter_index * blocks_per_page
+        for offset in range(blocks_per_page):
+            block_index = first_block + offset
+            if not self.nvm.backend.contains(MetadataRegion.DATA, block_index):
+                continue
+            block_base = self.address_space.addr_of_block(block_index)
+            old_major, old_minor = old_counter.counter_for(offset)
+            ciphertext = self.nvm.backend.read(
+                MetadataRegion.DATA, block_index, self.config.security.block_bytes
+            )
+            plaintext = self.engine.decrypt(
+                ciphertext, block_base, old_major, old_minor
+            )
+            new_major, new_minor = new_counter.counter_for(offset)
+            recrypted = self.engine.encrypt(
+                plaintext, block_base, new_major, new_minor
+            )
+            self.nvm.backend.write(MetadataRegion.DATA, block_index, recrypted)
+            self._volatile_hmacs[block_index] = data_mac(
+                self.engine, recrypted, block_base, new_major, new_minor
+            )
+
+    # ------------------------------------------------------------------
+    # crash modeling
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Power loss: every volatile structure loses its contents."""
+        self.mdcache.drop_all()
+        self._volatile_hmacs.clear()
+        if self.tree is not None:
+            self.tree.crash()
+        self.registers.crash()  # no-op by design; NV registers survive
+        self.stats.add("crashes")

@@ -1,0 +1,241 @@
+"""The metadata persistence protocol interface and registry.
+
+A protocol decides, for every data write reaching memory, which pieces
+of security metadata (counter line, HMAC line, BMT path nodes) are
+written through to NVM immediately versus left dirty in the volatile
+metadata cache — the crash-consistency/performance trade-off at the
+heart of the paper. Protocols also hook the read path (extra trust
+anchors shorten verification) and metadata cache events (Anubis's
+shadow-table slow path lives there), and describe their recovery
+behaviour for Table 4 and the functional crash tests.
+
+Shared mechanics — fetching metadata through the cache, charging NVM
+latencies, lazy writeback of dirty evictions, functional tree updates —
+live in :class:`repro.core.mee.MemoryEncryptionEngine`; protocols call
+back into it through the ``mee`` attribute set by :meth:`bind`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Type
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.integrity.geometry import NodeId
+from repro.util.stats import StatRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.area import AreaOverhead
+    from repro.core.mee import MemoryEncryptionEngine
+    from repro.core.recovery import RecoveryOutcome
+    from repro.integrity.bmt import BonsaiMerkleTree
+    from repro.mem.bandwidth import RecoveryBandwidthModel
+
+
+class MetadataPersistencePolicy(ABC):
+    """Base class for every persistence protocol in the study."""
+
+    #: Registry key and display name, e.g. ``"amnt"``.
+    name: str = "abstract"
+    #: False only for the volatile baseline, which sacrifices crash
+    #: consistency entirely (it is the normalization reference).
+    is_crash_consistent: bool = True
+    #: True when the protocol benefits from the AMNT++ modified OS
+    #: (the harness pairs ``amnt`` with the modified allocator to form
+    #: the paper's ``amnt++`` configuration).
+    benefits_from_modified_os: bool = False
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.stats = StatRegistry(f"protocol.{self.name}")
+        self.mee: Optional["MemoryEncryptionEngine"] = None
+        #: Harness label; differs from ``name`` only for ``amnt++``,
+        #: which is the same hardware run on the modified OS.
+        self.display_name = self.name
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def bind(self, mee: "MemoryEncryptionEngine") -> None:
+        """Attach to an engine; allocates NV registers, etc."""
+        self.mee = mee
+        self._on_bind()
+
+    def _on_bind(self) -> None:
+        """Subclass hook run after ``self.mee`` is available."""
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def on_data_write(
+        self,
+        counter_index: int,
+        block_index: int,
+        path: List[NodeId],
+        fenced: bool = False,
+    ) -> int:
+        """Persistence work for one data write reaching memory.
+
+        Called by the engine *after* the counter, HMAC line, and path
+        nodes have been updated (dirty) in the metadata cache. Returns
+        extra cycles charged to this write. Implementations persist
+        lines via ``self.mee.persist_*`` helpers, which also clean the
+        corresponding cache lines.
+
+        ``fenced`` marks writes issued under an application persistence
+        fence (CLWB + sfence): any bookkeeping the protocol would
+        normally coalesce off the critical path must complete before
+        the fence retires and is charged synchronously.
+        """
+
+    def path_update_extent(
+        self, counter_index: int, path: List[NodeId]
+    ) -> List[NodeId]:
+        """The ancestor nodes the engine fetches and updates (dirties)
+        in the metadata cache on a data write.
+
+        Default: the whole path to the root — the tree must reflect the
+        new counter everywhere. Protocols with an intermediate NV trust
+        anchor stop below it: AMNT's in-subtree writes update nothing
+        above the subtree-root register (that register *is* the trusted
+        summary), and BMF stops below the nearest persistent root.
+        """
+        return path
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def trusted_register_node(self, node: NodeId, counter_index: int) -> bool:
+        """True when ``node`` is held in an on-chip NV register and can
+        terminate a verification walk (AMNT's subtree root, BMF's
+        persistent root set)."""
+        return False
+
+    def on_read_authentication(self, counter_index: int) -> int:
+        """Extra read-path cycles (protocol bookkeeping)."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # metadata cache events
+    # ------------------------------------------------------------------
+
+    def on_metadata_fill(self, key: tuple) -> int:
+        """Called on every metadata cache miss/fill. Returns extra
+        cycles (Anubis's shadow-table persist happens here)."""
+        return 0
+
+    def on_metadata_writeback(self, key: tuple) -> int:
+        """Called when a dirty metadata line is written back on
+        eviction (the lazy path). Returns extra cycles."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # recovery characterization
+    # ------------------------------------------------------------------
+
+    def stale_data_bytes(self, memory_bytes: int) -> float:
+        """Protected-data coverage of BMT state that may be stale at a
+        crash — the input to the Table 4 bandwidth model. Default:
+        everything (full-tree rebuild, i.e. leaf persistence)."""
+        return float(memory_bytes)
+
+    def recovery_ms(
+        self, model: "RecoveryBandwidthModel", memory_bytes: int
+    ) -> float:
+        """Analytic recovery time (Table 4)."""
+        return model.rebuild_milliseconds(self.stale_data_bytes(memory_bytes))
+
+    def recover(self, tree: "BonsaiMerkleTree") -> "RecoveryOutcome":
+        """Functional post-crash recovery over the persisted image.
+
+        Default behaviour is the leaf-persistence procedure: rebuild
+        the whole tree from persisted counters and verify against the
+        on-chip root register. Subclasses override with their own
+        mechanism.
+        """
+        from repro.core.recovery import RecoveryOutcome
+
+        nodes = tree.rebuild_all_from_persisted()
+        return RecoveryOutcome(
+            protocol=self.name, ok=True, nodes_recomputed=nodes
+        )
+
+    # ------------------------------------------------------------------
+    # area accounting (Table 3)
+    # ------------------------------------------------------------------
+
+    def area_overhead(self) -> "AreaOverhead":
+        """Additional hardware beyond the baseline secure-memory MEE."""
+        from repro.core.area import AreaOverhead
+
+        return AreaOverhead(protocol=self.name)
+
+    def __repr__(self) -> str:
+        return f"<protocol {self.name}>"
+
+
+#: name -> (protocol class, use modified OS). ``amnt++`` is AMNT run on
+#: the AMNT++-modified operating system; the protocol hardware is
+#: identical, which is the paper's point.
+PROTOCOL_REGISTRY: Dict[str, tuple] = {}
+
+
+def register_protocol(
+    cls: Type[MetadataPersistencePolicy],
+    alias: Optional[str] = None,
+    modified_os: bool = False,
+) -> Type[MetadataPersistencePolicy]:
+    key = alias or cls.name
+    if key in PROTOCOL_REGISTRY:
+        raise ConfigError(f"protocol {key!r} registered twice")
+    PROTOCOL_REGISTRY[key] = (cls, modified_os)
+    return cls
+
+
+def make_protocol(name: str, config: SystemConfig) -> MetadataPersistencePolicy:
+    """Instantiate a registered protocol by name (``amnt++`` included)."""
+    _ensure_registry_populated()
+    try:
+        cls, _ = PROTOCOL_REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown protocol {name!r}; known: {sorted(PROTOCOL_REGISTRY)}"
+        ) from None
+    protocol = cls(config)
+    protocol.display_name = name
+    return protocol
+
+
+def protocol_uses_modified_os(name: str) -> bool:
+    _ensure_registry_populated()
+    try:
+        _, modified = PROTOCOL_REGISTRY[name]
+    except KeyError:
+        raise ConfigError(f"unknown protocol {name!r}") from None
+    return modified
+
+
+def protocol_names() -> List[str]:
+    _ensure_registry_populated()
+    return sorted(PROTOCOL_REGISTRY)
+
+
+def _ensure_registry_populated() -> None:
+    """Import the protocol modules so their classes self-register."""
+    if PROTOCOL_REGISTRY:
+        return
+    # Imports are for their registration side effects.
+    from repro.core import (  # noqa: F401
+        amnt,
+        amnt_multi,
+        anubis,
+        baselines,
+        bmf,
+        osiris,
+        static_hybrid,
+    )

@@ -1,0 +1,145 @@
+"""Crash injection and recovery (the paper's §6.7 and Table 4).
+
+Two complementary tools live here:
+
+* :class:`CrashInjector` — functional crash testing. Given a live
+  engine, it cuts power (volatile state vanishes, NV registers and the
+  NVM image survive), runs the bound protocol's recovery procedure over
+  the persisted image, and reports a :class:`RecoveryOutcome`. This is
+  how the test suite proves each protocol's crash-consistency claim
+  rather than asserting it.
+
+* :class:`RecoveryAnalysis` — the analytic recovery-time model behind
+  Table 4. Recovery is memory-bandwidth bound (the hash units are fast
+  and pipelined); each protocol contributes its stale coverage and the
+  bandwidth model converts bytes to milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.core.mee import MemoryEncryptionEngine
+from repro.core.protocol import MetadataPersistencePolicy, make_protocol
+from repro.errors import RecoveryError
+from repro.mem.bandwidth import RecoveryBandwidthModel
+from repro.util.units import TB
+
+
+@dataclass
+class RecoveryOutcome:
+    """Result of one functional recovery run."""
+
+    protocol: str
+    ok: bool
+    nodes_recomputed: int
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+class CrashInjector:
+    """Cuts power on a live engine and drives recovery."""
+
+    def __init__(self, mee: MemoryEncryptionEngine) -> None:
+        if not mee.functional:
+            raise RecoveryError(
+                "crash injection requires a functional-mode engine "
+                "(there is no persisted image to recover otherwise)"
+            )
+        self.mee = mee
+
+    def crash_and_recover(self) -> RecoveryOutcome:
+        """Power-fail now, then run the protocol's recovery."""
+        self.mee.crash()
+        return self.mee.protocol.recover(self.mee.tree)
+
+    def crash_only(self) -> None:
+        """Power-fail without recovering (for tamper-then-recover
+        scenarios where the test mutates the NVM image in between)."""
+        self.mee.crash()
+
+    def recover(self) -> RecoveryOutcome:
+        return self.mee.protocol.recover(self.mee.tree)
+
+
+#: Memory sizes of the paper's Table 4 columns.
+TABLE4_MEMORY_SIZES = (2 * TB, 16 * TB, 128 * TB)
+
+#: Rows of Table 4: protocol name plus, for AMNT, the subtree level.
+TABLE4_ROWS = (
+    ("leaf", None),
+    ("strict", None),
+    ("anubis", None),
+    ("osiris", None),
+    ("bmf", None),
+    ("amnt", 2),
+    ("amnt", 3),
+    ("amnt", 4),
+)
+
+
+@dataclass
+class RecoveryAnalysis:
+    """Analytic Table 4 generator."""
+
+    config: SystemConfig
+    model: RecoveryBandwidthModel = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.model = RecoveryBandwidthModel(
+            self.config.pcm,
+            arity=self.config.security.tree_arity,
+            counter_ratio=(
+                self.config.security.node_bytes / self.config.security.page_bytes
+            ),
+        )
+
+    def _protocol_for(
+        self, name: str, subtree_level: Optional[int]
+    ) -> MetadataPersistencePolicy:
+        config = self.config
+        if subtree_level is not None:
+            config = config.with_amnt(subtree_level=subtree_level)
+        # Recovery-time formulas need only the configuration, not a
+        # bound engine, except AMNT's level which comes from config.
+        return make_protocol(name, config)
+
+    def recovery_ms(
+        self,
+        protocol_name: str,
+        memory_bytes: int,
+        subtree_level: Optional[int] = None,
+    ) -> float:
+        protocol = self._protocol_for(protocol_name, subtree_level)
+        return protocol.recovery_ms(self.model, memory_bytes)
+
+    def stale_fraction(
+        self, protocol_name: str, subtree_level: Optional[int] = None
+    ) -> float:
+        protocol = self._protocol_for(protocol_name, subtree_level)
+        memory = self.config.pcm.capacity_bytes
+        return protocol.stale_data_bytes(memory) / memory
+
+    def table4(
+        self,
+        memory_sizes: Sequence[int] = TABLE4_MEMORY_SIZES,
+        rows: Sequence[tuple] = TABLE4_ROWS,
+    ) -> List[Dict[str, object]]:
+        """Rows of Table 4: recovery ms per memory size + stale share."""
+        table = []
+        for name, level in rows:
+            label = name if level is None else f"AMNT L{level}"
+            row: Dict[str, object] = {"protocol": label}
+            for memory in memory_sizes:
+                row[_size_label(memory)] = self.recovery_ms(name, memory, level)
+            row["stale_fraction"] = self.stale_fraction(name, level)
+            table.append(row)
+        return table
+
+
+def _size_label(memory_bytes: int) -> str:
+    return f"{memory_bytes / TB:.2f}TB"

@@ -1,0 +1,24 @@
+"""Cryptographic substrate: counter-mode encryption, HMACs, engines.
+
+The persistence protocols under study are agnostic to the concrete
+cipher and MAC, so engines are pluggable: :class:`RealCryptoEngine`
+performs functionally sound keyed hashing and counter-mode encryption
+(used by integrity and tamper tests), while :class:`FastCryptoEngine`
+returns cheap structural tags (used by timing sweeps, where Python-level
+hashing must not dominate runtime).
+"""
+
+from repro.crypto.counters import CounterBlock
+from repro.crypto.engine import CryptoEngine, FastCryptoEngine, RealCryptoEngine
+from repro.crypto.hmac import data_mac
+from repro.crypto.pad import apply_pad, make_pad
+
+__all__ = [
+    "CounterBlock",
+    "CryptoEngine",
+    "RealCryptoEngine",
+    "FastCryptoEngine",
+    "data_mac",
+    "make_pad",
+    "apply_pad",
+]

@@ -1,0 +1,29 @@
+"""Data-block HMAC computation.
+
+The MAC binds the *ciphertext* to its physical address and encryption
+counter. Binding the address defeats splicing (moving a valid block to
+another address); binding the counter defeats replay of an old
+(ciphertext, MAC) pair at the same address, because replayed data would
+verify only against the old counter — and the counters themselves are
+protected by the BMT.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.engine import CryptoEngine
+
+
+def data_mac(
+    engine: CryptoEngine,
+    ciphertext: bytes,
+    address: int,
+    major: int,
+    minor: int,
+) -> bytes:
+    """MAC of one data block as stored alongside it in memory."""
+    return engine.mac(
+        ciphertext,
+        address.to_bytes(8, "little"),
+        major.to_bytes(8, "little"),
+        minor.to_bytes(2, "little"),
+    )

@@ -1,0 +1,21 @@
+"""Counter-mode one-time pad helpers.
+
+Thin convenience wrappers over the engine primitives, kept separate so
+call sites read like the hardware datapath: make the pad, XOR it in.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.engine import CryptoEngine
+
+
+def make_pad(engine: CryptoEngine, address: int, major: int, minor: int) -> bytes:
+    """The one-time pad for a block at ``address`` under ``(major, minor)``."""
+    return engine.pad(address, major, minor)
+
+
+def apply_pad(data: bytes, pad: bytes) -> bytes:
+    """XOR a block with its pad (encrypt and decrypt are the same op)."""
+    if len(data) != len(pad):
+        raise ValueError(f"length mismatch: data {len(data)} vs pad {len(pad)}")
+    return bytes(a ^ b for a, b in zip(data, pad))

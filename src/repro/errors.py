@@ -1,0 +1,65 @@
+"""Exception hierarchy for the AMNT reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause.
+Security-relevant failures (integrity mismatches, replay detection) are
+deliberately distinct from configuration or simulation errors: a caller
+must never confuse "the simulator was misconfigured" with "the memory
+was tampered with".
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent with another."""
+
+
+class AddressError(ReproError):
+    """An address is out of range or misaligned for the operation."""
+
+
+class CacheError(ReproError):
+    """A cache was used in a way that violates its contract."""
+
+
+class AllocationError(ReproError):
+    """The physical page allocator could not satisfy a request."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent internal state."""
+
+
+class SecurityError(ReproError):
+    """Base class for security-protocol violations."""
+
+
+class IntegrityError(SecurityError):
+    """A computed MAC or tree hash did not match the stored value.
+
+    Raised on the read path when verification against the Bonsai Merkle
+    Tree fails — this is the condition a physical attacker triggers by
+    splicing or spoofing off-chip data.
+    """
+
+
+class ReplayError(SecurityError):
+    """Stale-but-valid data was detected (replay attack)."""
+
+
+class CrashConsistencyError(SecurityError):
+    """Recovery found persistent metadata inconsistent with the root.
+
+    Distinct from :class:`IntegrityError`: this is raised by the
+    *recovery* procedure when the rebuilt tree cannot be reconciled
+    with the non-volatile on-chip root register after a crash.
+    """
+
+
+class RecoveryError(ReproError):
+    """The recovery procedure itself could not run to completion."""

@@ -1,0 +1,6 @@
+"""Integrity substrate: BMT geometry and the functional Merkle tree."""
+
+from repro.integrity.bmt import BonsaiMerkleTree, VerificationReport
+from repro.integrity.geometry import NodeId, TreeGeometry
+
+__all__ = ["TreeGeometry", "NodeId", "BonsaiMerkleTree", "VerificationReport"]

@@ -1,0 +1,348 @@
+"""Functional Bonsai Merkle Tree over the simulated NVM.
+
+This class maintains *two* views of every tree node and counter block,
+mirroring the hardware state the paper reasons about:
+
+* the **persisted** view — bytes in the non-volatile backend, which is
+  all that survives a crash;
+* the **current** view — a volatile overlay modeling dirty copies in
+  the on-chip metadata cache. ``crash()`` discards the overlay.
+
+Node format is the General BMT (§2.1, Figure 1): a 64 B node is the
+concatenation of the 8-byte keyed hashes of its (up to 8) children;
+slots for absent children (tree edge) are zero. The root's own hash
+lives in a non-volatile on-chip register and is updated atomically with
+every counter update, exactly the root-of-trust discipline every
+protocol in the paper shares.
+
+Never-written lines read as their *genesis* values — the node contents
+a freshly zeroed memory implies — memoized per (level, child-count), so
+an 8 GB (or 128 TB) tree is consistent from the first access without
+materializing millions of nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.counters import ENCODED_BYTES, CounterBlock
+from repro.crypto.engine import CryptoEngine
+from repro.errors import CrashConsistencyError, IntegrityError
+from repro.integrity.geometry import NodeId, TreeGeometry
+from repro.mem.backend import MetadataRegion, SparseMemory
+
+NODE_BYTES = 64
+SLOT_BYTES = 8
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a verification walk, for tests and recovery logs."""
+
+    ok: bool
+    #: Levels at which the stored slot mismatched the computed hash.
+    mismatched_levels: List[int] = field(default_factory=list)
+    root_matches: bool = True
+
+
+class BonsaiMerkleTree:
+    """The paper's BMT with persisted/current state separation."""
+
+    def __init__(
+        self,
+        geometry: TreeGeometry,
+        engine: CryptoEngine,
+        backend: SparseMemory,
+    ) -> None:
+        self.geometry = geometry
+        self.engine = engine
+        self.backend = backend
+        self._volatile_nodes: Dict[NodeId, bytes] = {}
+        self._volatile_counters: Dict[int, CounterBlock] = {}
+        #: genesis node bytes memoized by (level, child_count).
+        self._genesis_cache: Dict[Tuple[int, int], bytes] = {}
+        #: Non-volatile on-chip root register (8 B), kept current.
+        self.root_register: bytes = self._hash_node(self.current_node_bytes((1, 0)))
+
+    # ------------------------------------------------------------------
+    # genesis values
+    # ------------------------------------------------------------------
+
+    def _child_count(self, node: NodeId) -> int:
+        return sum(1 for _ in self.geometry.children(node))
+
+    def _genesis_counter_bytes(self) -> bytes:
+        return bytes(ENCODED_BYTES)
+
+    def _genesis_node_bytes(self, node: NodeId) -> bytes:
+        """Node contents implied by an all-zero counter space."""
+        level, _ = node
+        child_count = self._child_count(node)
+        cached = self._genesis_cache.get((level, child_count))
+        if cached is not None:
+            return cached
+        slots = []
+        for child in self.geometry.children(node):
+            child_level, _ = child
+            if child_level == self.geometry.counter_level:
+                child_bytes = self._genesis_counter_bytes()
+            else:
+                child_bytes = self._genesis_node_bytes(child)
+            slots.append(self.engine.hash8(child_bytes))
+        value = b"".join(slots)
+        value += bytes(NODE_BYTES - len(value))  # zero-fill edge slots
+        # Genesis values depend only on (level, child_count) when every
+        # descendant is also full or shares the same edge shape; edge
+        # nodes at the same level with the same child count can still
+        # differ if a *descendant* is partial, so only memoize the
+        # common full-shape case.
+        if child_count == self.geometry.arity:
+            self._genesis_cache[(level, child_count)] = value
+        return value
+
+    # ------------------------------------------------------------------
+    # state views
+    # ------------------------------------------------------------------
+
+    def persisted_counter(self, index: int) -> CounterBlock:
+        if self.backend.contains(MetadataRegion.COUNTERS, index):
+            raw = self.backend.read(MetadataRegion.COUNTERS, index, ENCODED_BYTES)
+            return CounterBlock.decode(raw)
+        return CounterBlock()
+
+    def current_counter(self, index: int) -> CounterBlock:
+        block = self._volatile_counters.get(index)
+        if block is not None:
+            return block
+        return self.persisted_counter(index)
+
+    def persisted_node_bytes(self, node: NodeId) -> bytes:
+        if self.backend.contains(MetadataRegion.TREE, node):
+            return self.backend.read(MetadataRegion.TREE, node, NODE_BYTES)
+        return self._genesis_node_bytes(node)
+
+    def current_node_bytes(self, node: NodeId) -> bytes:
+        value = self._volatile_nodes.get(node)
+        if value is not None:
+            return value
+        return self.persisted_node_bytes(node)
+
+    def _hash_node(self, node_bytes: bytes) -> bytes:
+        return self.engine.hash8(node_bytes)
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def set_counter(
+        self, index: int, block: CounterBlock, persist: bool = False
+    ) -> None:
+        """Install a new counter value and propagate the hash change.
+
+        The ancestral path is recomputed into the *volatile* overlay
+        (as the metadata cache would hold it) and the on-chip root
+        register updated atomically. ``persist`` additionally writes
+        the counter line through to NVM — what leaf persistence does on
+        every data write.
+        """
+        self._volatile_counters[index] = block
+        if persist:
+            self.persist_counter(index)
+        self._update_path(index)
+
+    def persist_counter(self, index: int) -> None:
+        """Write the current counter line through to NVM."""
+        block = self._volatile_counters.pop(index, None)
+        if block is None:
+            return  # already persisted and clean
+        self.backend.write(MetadataRegion.COUNTERS, index, block.encode())
+
+    def _recompute_node(self, node: NodeId) -> bytes:
+        slots = []
+        for child in self.geometry.children(node):
+            child_level, child_index = child
+            if child_level == self.geometry.counter_level:
+                child_bytes = self.current_counter(child_index).encode()
+            else:
+                child_bytes = self.current_node_bytes(child)
+            slots.append(self._hash_node(child_bytes))
+        value = b"".join(slots)
+        return value + bytes(NODE_BYTES - len(value))
+
+    def _update_path(self, counter_index: int) -> None:
+        """Propagate a counter change along its ancestor path.
+
+        Each parent gets *only the changed child's slot* spliced in —
+        the hardware never re-reads or re-hashes siblings on an update,
+        so a sibling corrupted in NVM can never be laundered into a
+        freshly written parent (the audit in ``repro.core.audit`` and
+        the splice tests rely on this).
+        """
+        child_bytes = self.current_counter(counter_index).encode()
+        child_index = counter_index
+        for node in self.geometry.ancestors_of_counter(counter_index):
+            parent = bytearray(self.current_node_bytes(node))
+            slot = child_index % self.geometry.arity
+            parent[slot * SLOT_BYTES : (slot + 1) * SLOT_BYTES] = (
+                self._hash_node(child_bytes)
+            )
+            parent_bytes = bytes(parent)
+            self._volatile_nodes[node] = parent_bytes
+            child_bytes = parent_bytes
+            child_index = node[1]
+        self.root_register = self._hash_node(self.current_node_bytes((1, 0)))
+
+    def persist_node(self, node: NodeId) -> None:
+        """Write the current node value through to NVM."""
+        value = self._volatile_nodes.pop(node, None)
+        if value is None:
+            return  # clean already
+        self.backend.write(MetadataRegion.TREE, node, value)
+
+    def persist_path(self, counter_index: int, persist_counter: bool = True) -> int:
+        """Write-through the counter and its whole ancestral path.
+
+        Returns the number of NVM lines written — what the strict
+        persistence protocol charges per data write.
+        """
+        written = 0
+        if persist_counter and counter_index in self._volatile_counters:
+            self.persist_counter(counter_index)
+            written += 1
+        for node in self.geometry.ancestors_of_counter(counter_index):
+            if node in self._volatile_nodes:
+                self.persist_node(node)
+                written += 1
+        return written
+
+    def dirty_nodes(self) -> List[NodeId]:
+        return list(self._volatile_nodes.keys())
+
+    def dirty_counters(self) -> List[int]:
+        return list(self._volatile_counters.keys())
+
+    # ------------------------------------------------------------------
+    # crash and verification
+    # ------------------------------------------------------------------
+
+    def crash(self) -> Tuple[int, int]:
+        """Power loss: the volatile overlay vanishes.
+
+        Returns (lost_counter_lines, lost_node_lines) for reporting.
+        The non-volatile root register survives by construction.
+        """
+        lost = (len(self._volatile_counters), len(self._volatile_nodes))
+        self._volatile_counters.clear()
+        self._volatile_nodes.clear()
+        return lost
+
+    def verify_counter(self, index: int, persisted_only: bool = False) -> VerificationReport:
+        """Authenticate one counter block against the root register.
+
+        ``persisted_only`` verifies the post-crash NVM image (what
+        recovery sees); otherwise the current (cached) view is used,
+        which is what the MEE authenticates at runtime.
+        """
+        if persisted_only:
+            counter_bytes = self.persisted_counter(index).encode()
+            node_bytes_of = self.persisted_node_bytes
+        else:
+            counter_bytes = self.current_counter(index).encode()
+            node_bytes_of = self.current_node_bytes
+
+        report = VerificationReport(ok=True)
+        child_bytes = counter_bytes
+        child: NodeId = (self.geometry.counter_level, index)
+        for node in self.geometry.ancestors_of_counter(index):
+            parent_bytes = node_bytes_of(node)
+            slot = child[1] % self.geometry.arity
+            stored = parent_bytes[slot * SLOT_BYTES : (slot + 1) * SLOT_BYTES]
+            if stored != self._hash_node(child_bytes):
+                report.ok = False
+                report.mismatched_levels.append(node[0])
+            child_bytes = parent_bytes
+            child = node
+        if self._hash_node(child_bytes) != self.root_register:
+            report.ok = False
+            report.root_matches = False
+        return report
+
+    def authenticate_or_raise(self, index: int) -> None:
+        """Runtime authentication: raise on any mismatch."""
+        report = self.verify_counter(index)
+        if not report.ok:
+            raise IntegrityError(
+                f"counter block {index} failed authentication at levels "
+                f"{report.mismatched_levels or ['root']}"
+            )
+
+    # ------------------------------------------------------------------
+    # recovery support
+    # ------------------------------------------------------------------
+
+    def subtree_value_from_persisted(self, subtree: NodeId) -> Tuple[bytes, int]:
+        """Recompute ``subtree``'s node value bottom-up from persisted
+        counters, writing every recomputed descendant back to NVM.
+
+        Returns ``(subtree_node_bytes, nodes_recomputed)``. This is the
+        recovery procedure's core: after a crash the in-subtree nodes
+        are assumed stale and must be rebuilt from the (persisted)
+        leaves before comparing against the trusted register.
+        """
+        level, index = subtree
+        first, last = self.geometry.counter_range_of(subtree)
+        # hashes of the current level's entries, keyed by entry index
+        child_hashes: Dict[int, bytes] = {}
+        for counter_index in range(first, last):
+            raw = self.persisted_counter(counter_index).encode()
+            child_hashes[counter_index] = self._hash_node(raw)
+        nodes_recomputed = 0
+        current_level = self.geometry.counter_level - 1
+        while current_level >= level:
+            parent_hashes: Dict[int, bytes] = {}
+            parent_first = first // (
+                self.geometry.arity ** (self.geometry.counter_level - current_level)
+            )
+            # Group children by parent index.
+            grouped: Dict[int, List[Tuple[int, bytes]]] = {}
+            for child_index, digest in child_hashes.items():
+                grouped.setdefault(child_index // self.geometry.arity, []).append(
+                    (child_index, digest)
+                )
+            for parent_index, children in grouped.items():
+                slots = bytearray(NODE_BYTES)
+                for child_index, digest in children:
+                    slot = child_index % self.geometry.arity
+                    slots[slot * SLOT_BYTES : (slot + 1) * SLOT_BYTES] = digest
+                node_value = bytes(slots)
+                node_id: NodeId = (current_level, parent_index)
+                self.backend.write(MetadataRegion.TREE, node_id, node_value)
+                self._volatile_nodes.pop(node_id, None)
+                parent_hashes[parent_index] = self._hash_node(node_value)
+                nodes_recomputed += 1
+            child_hashes = parent_hashes
+            current_level -= 1
+        subtree_bytes = self.persisted_node_bytes(subtree)
+        return subtree_bytes, nodes_recomputed
+
+    def recompute_and_persist(self, node: NodeId) -> bytes:
+        """Recompute one node from its children's current values and
+        write it through to NVM. Used by recovery procedures fixing the
+        levels above an NV-registered subtree root (AMNT) or persistent
+        root set (BMF)."""
+        value = self._recompute_node(node)
+        self.backend.write(MetadataRegion.TREE, node, value)
+        self._volatile_nodes.pop(node, None)
+        return value
+
+    def rebuild_all_from_persisted(self) -> int:
+        """Full-tree rebuild (leaf-persistence recovery). Returns node
+        count recomputed; raises if the rebuilt root contradicts the
+        non-volatile root register (tampering or torn persistence)."""
+        root_bytes, count = self.subtree_value_from_persisted((1, 0))
+        if self._hash_node(root_bytes) != self.root_register:
+            raise CrashConsistencyError(
+                "rebuilt tree root does not match the on-chip root register"
+            )
+        return count

@@ -1,0 +1,184 @@
+"""Bonsai Merkle Tree geometry: levels, node indexing, and coverage.
+
+The BMT protects the encryption counters (one 64 B counter block per
+4 KB page). Integrity nodes are ``arity``-ary. Levels are numbered from
+the root:
+
+* level 1 — the root (one node, held in a non-volatile on-chip register),
+* level ``num_node_levels`` — the deepest integrity node level, whose
+  children are counter blocks,
+* ``counter_level = num_node_levels + 1`` — the counter blocks (tree
+  leaves), so the paper's "8-level BMT" for 8 GB corresponds to
+  ``num_node_levels == 7``.
+
+A node at level ``L`` covers ``arity**(num_node_levels - L + 1)``
+counter blocks, i.e. that many 4 KB pages of data. With 8 GB and
+arity 8, level 3 has 64 nodes covering 128 MB each — the paper's
+"64 possible subtree regions".
+
+All geometry is pure arithmetic; nothing here stores node contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, List, Tuple
+
+from repro.errors import ConfigError
+from repro.util.bitops import ceil_div
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.config import SystemConfig
+
+#: A tree node is identified by its (level, index) pair, level >= 1.
+NodeId = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class TreeGeometry:
+    """Shape of a BMT over ``num_counter_blocks`` counter leaves."""
+
+    num_counter_blocks: int
+    arity: int = 8
+    page_bytes: int = 4096
+    #: nodes per integrity level, index 0 == root level (level 1).
+    _level_sizes: List[int] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_counter_blocks <= 0:
+            raise ConfigError("tree needs at least one counter block")
+        if self.arity < 2:
+            raise ConfigError("tree arity must be at least 2")
+        sizes: List[int] = []
+        width = ceil_div(self.num_counter_blocks, self.arity)
+        sizes.append(width)
+        while width > 1:
+            width = ceil_div(width, self.arity)
+            sizes.append(width)
+        sizes.reverse()  # sizes[0] is the root level
+        if sizes[0] != 1:
+            raise ConfigError("internal error: root level must have one node")
+        object.__setattr__(self, "_level_sizes", sizes)
+
+    @classmethod
+    def from_config(cls, config: "SystemConfig") -> "TreeGeometry":
+        security = config.security
+        num_counter_blocks = config.pcm.capacity_bytes // security.page_bytes
+        return cls(
+            num_counter_blocks=num_counter_blocks,
+            arity=security.tree_arity,
+            page_bytes=security.page_bytes,
+        )
+
+    # -- level bookkeeping ----------------------------------------------
+
+    @property
+    def num_node_levels(self) -> int:
+        """Integrity node levels, root included (root is level 1)."""
+        return len(self._level_sizes)
+
+    @property
+    def num_levels(self) -> int:
+        """Total BMT levels including the counter-leaf level."""
+        return self.num_node_levels + 1
+
+    @property
+    def counter_level(self) -> int:
+        """Level number assigned to the counter blocks (the leaves)."""
+        return self.num_node_levels + 1
+
+    def nodes_at_level(self, level: int) -> int:
+        """Number of integrity nodes at ``level`` (1 == root)."""
+        self._check_node_level(level)
+        return self._level_sizes[level - 1]
+
+    def _check_node_level(self, level: int) -> None:
+        if not 1 <= level <= self.num_node_levels:
+            raise ConfigError(
+                f"level {level} outside integrity levels "
+                f"[1, {self.num_node_levels}]"
+            )
+
+    # -- parent/child arithmetic ----------------------------------------
+
+    def parent(self, node: NodeId) -> NodeId:
+        """Parent of an integrity node or counter block.
+
+        Counter blocks are addressed as ``(counter_level, index)``.
+        The root has no parent.
+        """
+        level, index = node
+        if level == 1:
+            raise ConfigError("the root has no parent")
+        if level == self.counter_level:
+            if not 0 <= index < self.num_counter_blocks:
+                raise ConfigError(f"counter block {index} out of range")
+        else:
+            self._check_node_level(level)
+            if not 0 <= index < self.nodes_at_level(level):
+                raise ConfigError(f"node {index} out of range at level {level}")
+        return (level - 1, index // self.arity)
+
+    def children(self, node: NodeId) -> Iterator[NodeId]:
+        """Children of an integrity node (nodes or counter blocks)."""
+        level, index = node
+        self._check_node_level(level)
+        child_level = level + 1
+        if child_level == self.counter_level:
+            child_count = self.num_counter_blocks
+        else:
+            child_count = self.nodes_at_level(child_level)
+        first = index * self.arity
+        last = min(first + self.arity, child_count)
+        for child_index in range(first, last):
+            yield (child_level, child_index)
+
+    def ancestors_of_counter(self, counter_index: int) -> List[NodeId]:
+        """Integrity-node path from the deepest level up to the root.
+
+        The returned list starts at the counter block's direct parent
+        and ends at ``(1, 0)`` — the order a write-through persist walks.
+        """
+        if not 0 <= counter_index < self.num_counter_blocks:
+            raise ConfigError(f"counter block {counter_index} out of range")
+        path: List[NodeId] = []
+        node: NodeId = (self.counter_level, counter_index)
+        while node[0] > 1:
+            node = self.parent(node)
+            path.append(node)
+        return path
+
+    # -- coverage ---------------------------------------------------------
+
+    def counters_covered_by(self, level: int) -> int:
+        """Counter blocks covered by one node at ``level``."""
+        self._check_node_level(level)
+        return self.arity ** (self.num_node_levels - level + 1)
+
+    def region_bytes(self, level: int) -> int:
+        """Bytes of protected data covered by one node at ``level``."""
+        return self.counters_covered_by(level) * self.page_bytes
+
+    def ancestor_at_level(self, counter_index: int, level: int) -> int:
+        """Index (at ``level``) of the ancestor of ``counter_index``."""
+        self._check_node_level(level)
+        if not 0 <= counter_index < self.num_counter_blocks:
+            raise ConfigError(f"counter block {counter_index} out of range")
+        return counter_index // self.counters_covered_by(level)
+
+    def counter_range_of(self, node: NodeId) -> Tuple[int, int]:
+        """Half-open range of counter-block indices under ``node``."""
+        level, index = node
+        covered = self.counters_covered_by(level)
+        first = index * covered
+        last = min(first + covered, self.num_counter_blocks)
+        return (first, last)
+
+    def is_ancestor(self, node: NodeId, counter_index: int) -> bool:
+        """True when ``counter_index`` lies under integrity ``node``."""
+        first, last = self.counter_range_of(node)
+        return first <= counter_index < last
+
+    def total_nodes(self) -> int:
+        """All integrity nodes in the tree (excludes counter blocks)."""
+        return sum(self._level_sizes)

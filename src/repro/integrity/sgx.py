@@ -1,0 +1,244 @@
+"""SGX-style integrity tree (the paper's §2.1 second BMT flavour).
+
+General BMTs (the default in this reproduction) store, in each node,
+the concatenated *hashes of its children*. SGX-style trees instead
+embed *version counters* in every node: a 64 B node holds one 56-bit
+counter per child slot plus an 8-byte MAC binding those counters to the
+node's own version — which is, in turn, a slot in its parent. A data
+write bumps the version chain along its ancestor path and recomputes
+each node's MAC; verification recomputes MACs bottom-up and checks the
+root's version against a non-volatile on-chip register.
+
+The paper notes AMNT "can be used in an SGX-style BMT with small
+modifications": the only structural requirement is a trustable interior
+anchor, and an SGX-style subtree is summarized by its node's (version,
+MAC) pair exactly as a General-BMT subtree is summarized by its node
+hash. :meth:`SGXStyleTree.subtree_anchor` exposes that pair so an AMNT
+subtree register can be pointed at any interior node; the tests
+demonstrate leaf-persisted recovery against such an anchor.
+
+Like :class:`~repro.integrity.bmt.BonsaiMerkleTree`, this class keeps a
+*persisted* view (the NVM image) and a *current* volatile overlay, so
+crash modeling works identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.engine import CryptoEngine
+from repro.errors import CrashConsistencyError, IntegrityError
+from repro.integrity.geometry import NodeId, TreeGeometry
+from repro.mem.backend import MetadataRegion, SparseMemory
+
+SLOT_BYTES = 7  # 56-bit per-child version counters
+MAC_BYTES = 8
+NODE_BYTES = 64
+
+
+class SGXNode:
+    """One SGX-style node: 8 x 56-bit slot counters + an 8 B MAC."""
+
+    __slots__ = ("slots", "mac")
+
+    def __init__(
+        self, slots: Optional[List[int]] = None, mac: bytes = b"\x00" * MAC_BYTES
+    ) -> None:
+        self.slots = slots if slots is not None else [0] * 8
+        self.mac = mac
+
+    def encode(self) -> bytes:
+        packed = b"".join(
+            slot.to_bytes(SLOT_BYTES, "little") for slot in self.slots
+        )
+        return packed + self.mac
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "SGXNode":
+        if len(raw) != NODE_BYTES:
+            raise ValueError(f"SGX node must be {NODE_BYTES} bytes")
+        slots = [
+            int.from_bytes(raw[i * SLOT_BYTES : (i + 1) * SLOT_BYTES], "little")
+            for i in range(8)
+        ]
+        return cls(slots, raw[8 * SLOT_BYTES :])
+
+    def copy(self) -> "SGXNode":
+        return SGXNode(list(self.slots), self.mac)
+
+
+class SGXStyleTree:
+    """Versioned (SGX-style) integrity tree over counter leaves."""
+
+    def __init__(
+        self,
+        geometry: TreeGeometry,
+        engine: CryptoEngine,
+        backend: SparseMemory,
+    ) -> None:
+        if geometry.arity != 8:
+            raise ValueError("SGX-style nodes hold exactly 8 slots")
+        self.geometry = geometry
+        self.engine = engine
+        self.backend = backend
+        self._volatile: Dict[NodeId, SGXNode] = {}
+        #: NV on-chip register: the root node's own version counter.
+        self.root_version: int = 0
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    def persisted_node(self, node: NodeId) -> SGXNode:
+        if self.backend.contains(MetadataRegion.TREE, node):
+            raw = self.backend.read(MetadataRegion.TREE, node, NODE_BYTES)
+            return SGXNode.decode(raw)
+        genesis = SGXNode()
+        # The zeroed media corresponds to version 0 everywhere — the
+        # genesis MAC must not depend on the *current* register, or a
+        # stale image would always look self-consistent.
+        genesis.mac = self._mac_for(node, genesis.slots, 0)
+        return genesis
+
+    def current_node(self, node: NodeId) -> SGXNode:
+        cached = self._volatile.get(node)
+        if cached is not None:
+            return cached
+        return self.persisted_node(node)
+
+    def _version_of(self, node: NodeId, current: bool = True) -> int:
+        """A node's own version: its slot in its parent (root: the NV
+        register)."""
+        level, index = node
+        if level == 1:
+            return self.root_version if current else self.root_version
+        parent = self.geometry.parent(node)
+        parent_node = (
+            self.current_node(parent) if current else self.persisted_node(parent)
+        )
+        return parent_node.slots[index % self.geometry.arity]
+
+    def _mac_for(self, node: NodeId, slots: List[int], version: int) -> bytes:
+        payload = b"".join(
+            slot.to_bytes(SLOT_BYTES, "little") for slot in slots
+        )
+        return self.engine.mac(
+            payload,
+            version.to_bytes(8, "little"),
+            node[0].to_bytes(2, "little"),
+            node[1].to_bytes(6, "little"),
+        )
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def bump_counter(self, counter_index: int) -> None:
+        """A data write under ``counter_index``: bump the version chain
+        along the ancestor path and re-MAC every node on it.
+
+        Walks root-ward; each parent's slot for its updated child
+        increments, then (after all slots are final) MACs are
+        recomputed top-down so each node's MAC uses its *new* version.
+        """
+        path = self.geometry.ancestors_of_counter(counter_index)
+        child_index = counter_index
+        for node in path:
+            updated = self.current_node(node).copy()
+            updated.slots[child_index % self.geometry.arity] += 1
+            self._volatile[node] = updated
+            child_index = node[1]
+        self.root_version += 1
+        # Re-MAC from the root down (versions are now final).
+        for node in reversed(path):
+            cached = self._volatile[node]
+            cached.mac = self._mac_for(node, cached.slots, self._version_of(node))
+
+    def counter_version(self, counter_index: int, current: bool = True) -> int:
+        """The leaf version protecting ``counter_index``."""
+        parent = self.geometry.parent(
+            (self.geometry.counter_level, counter_index)
+        )
+        node = (
+            self.current_node(parent) if current else self.persisted_node(parent)
+        )
+        return node.slots[counter_index % self.geometry.arity]
+
+    # ------------------------------------------------------------------
+    # persistence and crash
+    # ------------------------------------------------------------------
+
+    def persist_node(self, node: NodeId) -> None:
+        cached = self._volatile.pop(node, None)
+        if cached is None:
+            return
+        self.backend.write(MetadataRegion.TREE, node, cached.encode())
+
+    def persist_path(self, counter_index: int) -> int:
+        written = 0
+        for node in self.geometry.ancestors_of_counter(counter_index):
+            if node in self._volatile:
+                self.persist_node(node)
+                written += 1
+        return written
+
+    def crash(self) -> int:
+        lost = len(self._volatile)
+        self._volatile.clear()
+        return lost
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+
+    def verify_counter(self, counter_index: int, persisted_only: bool = False) -> bool:
+        """Authenticate the version chain above ``counter_index``."""
+        current = not persisted_only
+        node: NodeId = (self.geometry.counter_level, counter_index)
+        while node[0] > 1:
+            node = self.geometry.parent(node)
+            candidate = (
+                self.current_node(node) if current else self.persisted_node(node)
+            )
+            expected = self._mac_for(
+                node, candidate.slots, self._version_of(node, current=current)
+            )
+            if candidate.mac != expected:
+                return False
+        return True
+
+    def authenticate_or_raise(self, counter_index: int) -> None:
+        if not self.verify_counter(counter_index):
+            raise IntegrityError(
+                f"SGX-style chain broken above counter {counter_index}"
+            )
+
+    # ------------------------------------------------------------------
+    # AMNT anchoring (the paper's "small modifications")
+    # ------------------------------------------------------------------
+
+    def subtree_anchor(self, node: NodeId) -> Tuple[int, bytes]:
+        """The (version, MAC) pair an AMNT subtree register would hold
+        for ``node`` — a trustable summary of everything beneath it."""
+        current = self.current_node(node)
+        return (self._version_of(node), current.mac)
+
+    def verify_subtree_against_anchor(
+        self, node: NodeId, anchor: Tuple[int, bytes]
+    ) -> bool:
+        """Post-crash: check the persisted subtree node against an NV
+        anchor (leaf-persistence recovery for an SGX-style subtree)."""
+        version, mac = anchor
+        persisted = self.persisted_node(node)
+        expected = self._mac_for(node, persisted.slots, version)
+        return persisted.mac == expected and mac == persisted.mac
+
+    def rebuild_check_root(self) -> None:
+        """Verify the persisted root is MAC-consistent with the NV root
+        version register (strict-persistence recovery check)."""
+        root = self.persisted_node((1, 0))
+        expected = self._mac_for((1, 0), root.slots, self.root_version)
+        if root.mac != expected:
+            raise CrashConsistencyError(
+                "persisted SGX root contradicts the NV version register"
+            )

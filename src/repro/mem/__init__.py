@@ -1,0 +1,17 @@
+"""Memory substrate: addresses, sparse backing store, and PCM timing."""
+
+from repro.mem.address import AddressSpace
+from repro.mem.backend import MetadataRegion, SparseMemory
+from repro.mem.bandwidth import RecoveryBandwidthModel
+from repro.mem.nvm import NVMDevice
+from repro.mem.wear import WearTracker, attach_wear_tracking
+
+__all__ = [
+    "AddressSpace",
+    "SparseMemory",
+    "MetadataRegion",
+    "NVMDevice",
+    "RecoveryBandwidthModel",
+    "WearTracker",
+    "attach_wear_tracking",
+]

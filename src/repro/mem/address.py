@@ -1,0 +1,88 @@
+"""Physical address arithmetic for the protected data region.
+
+Addresses are plain integers in ``[0, capacity)``. This module decodes
+them into the units the security machinery works with: 64 B blocks
+(the protection granule), 4 KB pages (the counter granule), and the
+index spaces used to key counters, HMAC lines, and BMT leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AddressError
+from repro.util.bitops import align_down, ilog2
+
+
+@dataclass(frozen=True)
+class AddressSpace:
+    """Decoder for a physical address space of ``capacity_bytes``."""
+
+    capacity_bytes: int
+    block_bytes: int = 64
+    page_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        # ilog2 validates the power-of-two requirements.
+        object.__setattr__(self, "_block_shift", ilog2(self.block_bytes))
+        object.__setattr__(self, "_page_shift", ilog2(self.page_bytes))
+        if self.capacity_bytes % self.page_bytes:
+            raise AddressError("capacity must be a whole number of pages")
+
+    # -- validation ----------------------------------------------------
+
+    def check(self, addr: int) -> int:
+        """Validate ``addr`` is inside the space; returns it unchanged."""
+        if not 0 <= addr < self.capacity_bytes:
+            raise AddressError(
+                f"address {addr:#x} outside [0, {self.capacity_bytes:#x})"
+            )
+        return addr
+
+    def contains(self, addr: int) -> bool:
+        return 0 <= addr < self.capacity_bytes
+
+    # -- decomposition -------------------------------------------------
+
+    def block_index(self, addr: int) -> int:
+        """Index of the 64 B block containing ``addr``."""
+        return self.check(addr) >> self._block_shift
+
+    def block_base(self, addr: int) -> int:
+        """Address of the first byte of the block containing ``addr``."""
+        return align_down(self.check(addr), self.block_bytes)
+
+    def page_index(self, addr: int) -> int:
+        """Index of the 4 KB page containing ``addr``."""
+        return self.check(addr) >> self._page_shift
+
+    def page_base(self, addr: int) -> int:
+        return align_down(self.check(addr), self.page_bytes)
+
+    def block_offset_in_page(self, addr: int) -> int:
+        """Which of the page's blocks (0..63) contains ``addr``."""
+        return (self.check(addr) >> self._block_shift) & (
+            (self.page_bytes >> self._block_shift) - 1
+        )
+
+    def addr_of_block(self, block_index: int) -> int:
+        addr = block_index << self._block_shift
+        return self.check(addr)
+
+    def addr_of_page(self, page_index: int) -> int:
+        addr = page_index << self._page_shift
+        return self.check(addr)
+
+    # -- totals ----------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return self.capacity_bytes >> self._block_shift
+
+    @property
+    def num_pages(self) -> int:
+        return self.capacity_bytes >> self._page_shift
+
+    @property
+    def blocks_per_page(self) -> int:
+        return self.page_bytes >> self._block_shift

@@ -1,0 +1,164 @@
+"""SCM endurance accounting: where do the writes land?
+
+PCM-class cells endure ~10^8 writes. A persistence protocol multiplies
+device wear as well as latency: strict persistence rewrites the same
+handful of upper-tree lines on *every* data write, concentrating wear
+on a few metadata cells, while lazy schemes spread (and shed) that
+traffic. This module tracks per-line write counts per region and turns
+them into the two numbers an SCM architect asks for:
+
+* **write amplification** — total lines written per data line written;
+* **hottest-line pressure** — the maximum per-line write count relative
+  to the mean, which (absent wear-leveling) bounds device lifetime.
+
+:class:`WearTracker` wraps a :class:`~repro.mem.nvm.NVMDevice` by
+interposing on its access methods — build one around the device before
+simulation and read the report after. Interposition keeps the device's
+hot path free of wear bookkeeping unless a study asks for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.mem.backend import MetadataRegion
+from repro.mem.nvm import NVMDevice
+
+#: Conventional PCM cell endurance (writes) used for lifetime math.
+DEFAULT_CELL_ENDURANCE = 10**8
+
+
+@dataclass
+class WearReport:
+    """Per-region wear summary."""
+
+    writes_by_region: Dict[str, int]
+    hottest_line_writes: int
+    hottest_line: Optional[Tuple[str, object]]
+    distinct_lines_written: int
+
+    @property
+    def total_writes(self) -> int:
+        return sum(self.writes_by_region.values())
+
+    def write_amplification(self) -> Optional[float]:
+        """Metadata lines written per data line written."""
+        data = self.writes_by_region.get("data", 0)
+        if data == 0:
+            return None
+        return (self.total_writes - data) / data
+
+    def mean_writes_per_line(self) -> float:
+        if self.distinct_lines_written == 0:
+            return 0.0
+        return self.total_writes / self.distinct_lines_written
+
+    def hotspot_factor(self) -> float:
+        """Hottest line's writes over the mean — wear skew. 1.0 means
+        perfectly even wear; strict persistence's upper-tree lines push
+        this far above the lazy schemes'."""
+        mean = self.mean_writes_per_line()
+        if mean == 0:
+            return 0.0
+        return self.hottest_line_writes / mean
+
+    def lifetime_fraction_consumed(
+        self, endurance: int = DEFAULT_CELL_ENDURANCE
+    ) -> float:
+        """Share of the hottest cell's endurance this run consumed
+        (no wear-leveling assumed)."""
+        return self.hottest_line_writes / endurance
+
+
+class WearTracker:
+    """Interposes on an NVM device to record per-line write counts.
+
+    Only *writes* wear PCM; reads are free. The tracker needs line
+    identity, which the timing-side ``write_access`` does not carry, so
+    it hooks the MEE at the point where line identity exists: wrap the
+    engine with :func:`attach_wear_tracking` and the persist/writeback
+    helpers report their keys here.
+    """
+
+    def __init__(self) -> None:
+        self._line_writes: Dict[Tuple[str, object], int] = {}
+
+    def record(self, region: MetadataRegion, key: object) -> None:
+        identity = (region.value, key)
+        self._line_writes[identity] = self._line_writes.get(identity, 0) + 1
+
+    def report(self) -> WearReport:
+        by_region: Dict[str, int] = {}
+        hottest = 0
+        hottest_line: Optional[Tuple[str, object]] = None
+        for (region, key), count in self._line_writes.items():
+            by_region[region] = by_region.get(region, 0) + count
+            if count > hottest:
+                hottest = count
+                hottest_line = (region, key)
+        return WearReport(
+            writes_by_region=by_region,
+            hottest_line_writes=hottest,
+            hottest_line=hottest_line,
+            distinct_lines_written=len(self._line_writes),
+        )
+
+    def hottest_lines(self, top: int = 5) -> List[Tuple[Tuple[str, object], int]]:
+        return sorted(
+            self._line_writes.items(), key=lambda item: -item[1]
+        )[:top]
+
+
+def attach_wear_tracking(mee) -> WearTracker:
+    """Instrument a MemoryEncryptionEngine's write paths with a tracker.
+
+    Wraps the engine's persist helpers, lazy writeback, and data write
+    so every NVM line write is attributed. Returns the tracker; call
+    ``tracker.report()`` after simulation.
+    """
+    tracker = WearTracker()
+
+    original_persist_counter = mee.persist_counter_line
+    original_persist_hmac = mee.persist_hmac_line
+    original_persist_node = mee.persist_tree_node
+    original_writeback = mee._writeback_metadata
+    original_write_block = mee.write_block
+
+    def persist_counter(counter_index):
+        tracker.record(MetadataRegion.COUNTERS, counter_index)
+        return original_persist_counter(counter_index)
+
+    def persist_hmac(hmac_line):
+        tracker.record(MetadataRegion.HMACS, hmac_line)
+        return original_persist_hmac(hmac_line)
+
+    def persist_node(node):
+        tracker.record(MetadataRegion.TREE, node)
+        return original_persist_node(node)
+
+    def writeback(key):
+        kind = key[0]
+        if kind == "ctr":
+            tracker.record(MetadataRegion.COUNTERS, key[1])
+        elif kind == "node":
+            tracker.record(MetadataRegion.TREE, (key[1], key[2]))
+        else:
+            tracker.record(MetadataRegion.HMACS, key[1])
+        return original_writeback(key)
+
+    def write_block(paddr, data=None):
+        tracker.record(
+            MetadataRegion.DATA, mee.address_space.block_index(paddr)
+        )
+        return original_write_block(paddr, data=data)
+
+    mee.persist_counter_line = persist_counter
+    mee.persist_hmac_line = persist_hmac
+    mee.persist_tree_node = persist_node
+    mee._writeback_metadata = writeback
+    mee.write_block = write_block
+    # Protocols with private NVM regions (Anubis's shadow table) report
+    # their writes through this attribute.
+    mee.wear_tracker = tracker
+    return tracker

@@ -1,0 +1,22 @@
+"""Operating-system substrate: physical page allocation and paging.
+
+Implements the Linux-style binary buddy allocator the paper modifies,
+the AMNT++ free-list restructuring pass, and the demand-paging layer
+that maps workload virtual addresses onto physical frames. Instruction
+accounting on every allocator operation supports Table 2's
+instruction-overhead comparison between the stock and modified OS.
+"""
+
+from repro.os.amntpp import AMNTPlusPlusRestructurer
+from repro.os.buddy import BuddyAllocator, FreeChunk
+from repro.os.pagetable import PageTable
+from repro.os.process import MemoryManager, Process
+
+__all__ = [
+    "BuddyAllocator",
+    "FreeChunk",
+    "AMNTPlusPlusRestructurer",
+    "PageTable",
+    "Process",
+    "MemoryManager",
+]

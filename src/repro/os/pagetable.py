@@ -1,0 +1,38 @@
+"""Per-process page table: virtual page -> physical frame."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+
+@dataclass
+class PageTable:
+    """A flat virtual-to-physical page mapping for one address space."""
+
+    page_bytes: int = 4096
+    _mapping: Dict[int, int] = field(default_factory=dict)
+
+    def lookup(self, virtual_page: int) -> Optional[int]:
+        return self._mapping.get(virtual_page)
+
+    def map(self, virtual_page: int, frame: int) -> None:
+        if virtual_page in self._mapping:
+            raise KeyError(f"virtual page {virtual_page} already mapped")
+        self._mapping[virtual_page] = frame
+
+    def unmap(self, virtual_page: int) -> int:
+        return self._mapping.pop(virtual_page)
+
+    def translate(self, vaddr: int) -> Optional[int]:
+        """Virtual byte address to physical byte address, or None."""
+        frame = self._mapping.get(vaddr // self.page_bytes)
+        if frame is None:
+            return None
+        return frame * self.page_bytes + (vaddr % self.page_bytes)
+
+    def mapped_pages(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._mapping.items())
+
+    def __len__(self) -> int:
+        return len(self._mapping)

@@ -1,0 +1,5 @@
+"""On-chip persistence primitives: non-volatile registers."""
+
+from repro.persist.root_register import NonVolatileRegister, RegisterFile
+
+__all__ = ["NonVolatileRegister", "RegisterFile"]

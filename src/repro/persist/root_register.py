@@ -1,0 +1,75 @@
+"""Non-volatile on-chip registers.
+
+The trust anchors of every protocol in the paper live here: the global
+BMT root (all protocols), AMNT's fast-subtree root, Anubis's shadow
+Merkle tree root, BMF's persistent root set. These are modeled as named
+registers that survive :meth:`RegisterFile.crash`, with byte-size
+accounting so Table 3's non-volatile on-chip area column can be
+reproduced by summing what a protocol actually allocated.
+
+Registers hold small ``bytes`` payloads plus an optional structured tag
+(e.g. AMNT stores the subtree's (level, index) beside its hash — in
+hardware this is part of the same register).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class NonVolatileRegister:
+    """One named NV register: value survives power loss."""
+
+    name: str
+    size_bytes: int
+    value: bytes = b""
+    tag: Optional[Tuple[int, ...]] = None
+
+    def write(self, value: bytes, tag: Optional[Tuple[int, ...]] = None) -> None:
+        if len(value) > self.size_bytes:
+            raise ValueError(
+                f"register {self.name!r} holds {self.size_bytes} bytes, "
+                f"got {len(value)}"
+            )
+        self.value = bytes(value)
+        if tag is not None:
+            self.tag = tag
+
+    def read(self) -> bytes:
+        return self.value
+
+
+@dataclass
+class RegisterFile:
+    """The chip's non-volatile register allocation."""
+
+    _registers: Dict[str, NonVolatileRegister] = field(default_factory=dict)
+
+    def allocate(self, name: str, size_bytes: int) -> NonVolatileRegister:
+        if name in self._registers:
+            raise ValueError(f"register {name!r} already allocated")
+        if size_bytes <= 0:
+            raise ValueError("register size must be positive")
+        register = NonVolatileRegister(name, size_bytes)
+        self._registers[name] = register
+        return register
+
+    def get(self, name: str) -> NonVolatileRegister:
+        return self._registers[name]
+
+    def total_bytes(self) -> int:
+        """Non-volatile on-chip area consumed (Table 3 accounting)."""
+        return sum(register.size_bytes for register in self._registers.values())
+
+    def crash(self) -> None:
+        """Power loss is a no-op for NV registers — that is the point.
+
+        Present so crash-injection code can uniformly notify every
+        on-chip structure; volatile structures lose state, these keep
+        it.
+        """
+
+    def names(self):
+        return sorted(self._registers)

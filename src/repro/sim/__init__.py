@@ -1,0 +1,19 @@
+"""Trace-driven simulation: machines, the engine loop, and sweeps."""
+
+from repro.sim.engine import simulate
+from repro.sim.machine import Machine, build_machine
+from repro.sim.multicore import PrivateCacheLayer, simulate_multicore
+from repro.sim.results import SimulationResult, normalized_cycles
+from repro.sim.runner import run_protocol_sweep, sweep_normalized
+
+__all__ = [
+    "Machine",
+    "build_machine",
+    "simulate",
+    "simulate_multicore",
+    "PrivateCacheLayer",
+    "SimulationResult",
+    "normalized_cycles",
+    "run_protocol_sweep",
+    "sweep_normalized",
+]

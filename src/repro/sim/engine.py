@@ -1,0 +1,98 @@
+"""The trace-driven simulation loop.
+
+For each reference in the trace: translate (demand paging), probe the
+LLC, and send the resulting *memory traffic* — fills and dirty
+writebacks — through the memory encryption engine, accumulating cycles.
+Secure-memory work therefore only happens where it happens in hardware:
+at the memory boundary.
+
+Periodic page churn emulates unrelated system activity so the OS
+reclamation path (where AMNT++ restructures free lists) actually runs
+during measurement, as it would on a live machine.
+
+Cycle accounting is deliberately simple and serial — think cycles plus
+LLC latency plus every NVM access at full latency. Absolute cycle
+counts are therefore pessimistic for all protocols equally; every
+reported figure is normalized to the volatile baseline run on the same
+trace, exactly as the paper normalizes to the volatile secure-memory
+scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.machine import Machine
+from repro.sim.results import SimulationResult
+from repro.util.rng import Seed, make_rng
+from repro.workloads.trace import Trace
+
+#: Modeled kernel instructions per demand-paging fault (trap, allocator
+#: call, page-table update). Only Table 2's instruction ratios consume
+#: this; it is deliberately round.
+INSTRUCTIONS_PER_PAGE_FAULT = 500
+
+
+def simulate(
+    machine: Machine,
+    trace: Trace,
+    seed: Seed = 0,
+    churn_interval: int = 16384,
+    churn_bursts: int = 2,
+    churn_pages_per_burst: int = 32,
+    flush_llc_at_end: bool = False,
+) -> SimulationResult:
+    """Run ``trace`` to completion on ``machine``; returns the result."""
+    rng = make_rng(f"{seed}/engine/{trace.name}")
+    mee = machine.mee
+    llc = machine.llc
+    mm = machine.mm
+    block_bytes = machine.config.security.block_bytes
+    llc_latency = machine.config.llc.access_latency_cycles
+
+    cycles = 0
+    app_instructions = 0
+    for position, access in enumerate(trace):
+        paddr = mm.translate(access.pid, access.vaddr)
+        traffic = llc.access(paddr, access.is_write)
+        cycles += access.think_cycles + llc_latency
+        app_instructions += access.think_cycles + 1
+        if traffic.fill_block is not None:
+            cycles += mee.read_block(traffic.fill_block * block_bytes)
+        for victim_block in traffic.writeback_blocks:
+            cycles += mee.write_block(victim_block * block_bytes)
+        if access.flush and access.is_write:
+            # CLWB + fence: the store is pushed to memory now, and the
+            # core waits for the (protocol-dependent) persist to finish
+            # — the path in-memory storage applications live on.
+            flushed_block = llc.flush_block(paddr)
+            if flushed_block is not None:
+                cycles += mee.write_block(
+                    flushed_block * block_bytes, fenced=True
+                )
+        if churn_interval and (position + 1) % churn_interval == 0:
+            mm.churn(
+                rng, bursts=churn_bursts, pages_per_burst=churn_pages_per_burst
+            )
+    if flush_llc_at_end:
+        for victim_block in llc.flush():
+            cycles += mee.write_block(victim_block * block_bytes)
+
+    os_instructions = (
+        mm.allocator.instructions()
+        + mm.stats.get("page_faults") * INSTRUCTIONS_PER_PAGE_FAULT
+    )
+    return SimulationResult(
+        workload=trace.name,
+        protocol=mee.protocol.display_name,
+        cycles=cycles,
+        accesses=len(trace),
+        llc_hit_rate=llc.hit_rate(),
+        mdcache_hit_rate=mee.mdcache.hit_rate(),
+        instructions=app_instructions + os_instructions,
+        os_instructions=os_instructions,
+        page_faults=mm.stats.get("page_faults"),
+        nvm_stats=mee.nvm.stats.snapshot(),
+        protocol_stats=mee.protocol.stats.snapshot(),
+        mee_stats=mee.stats.snapshot(),
+    )

@@ -1,0 +1,100 @@
+"""Simulation results and normalization helpers.
+
+Every figure in the paper reports cycles *normalized to the volatile
+secure-memory baseline*; :func:`normalized_cycles` implements that
+division, and :class:`SimulationResult` carries the raw counters a
+harness needs to reproduce the secondary statistics (metadata cache hit
+rates, subtree hit rates, movement frequency, persist traffic,
+instruction counts for Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one trace run on one machine."""
+
+    workload: str
+    protocol: str
+    cycles: int
+    accesses: int
+    llc_hit_rate: float
+    mdcache_hit_rate: float
+    #: application instructions (proxied by think cycles) + OS work.
+    instructions: int
+    os_instructions: int
+    page_faults: int
+    nvm_stats: Dict[str, int] = field(default_factory=dict)
+    protocol_stats: Dict[str, int] = field(default_factory=dict)
+    mee_stats: Dict[str, int] = field(default_factory=dict)
+
+    # -- derived metrics ----------------------------------------------------
+
+    def _protocol_stat(self, suffix: str) -> int:
+        """Sum a protocol counter by suffix, tolerant of the protocol's
+        stats prefix (``protocol.amnt.`` vs ``protocol.amnt-multi.``)."""
+        return sum(
+            value
+            for name, value in self.protocol_stats.items()
+            if name.endswith(suffix)
+        )
+
+    def subtree_hit_rate(self) -> Optional[float]:
+        """AMNT: fraction of memory writes landing in a fast subtree."""
+        hits = self._protocol_stat(".subtree_hits")
+        misses = self._protocol_stat(".subtree_misses")
+        total = hits + misses
+        if total == 0:
+            return None
+        return hits / total
+
+    def movement_rate(self) -> Optional[float]:
+        """AMNT: subtree movements per memory data write."""
+        movements = self._protocol_stat(".movements")
+        writes = self.mee_stats.get("mee.data_writes", 0)
+        if writes == 0:
+            return None
+        return movements / writes
+
+    def persist_traffic(self) -> int:
+        return self.nvm_stats.get("nvm.persists.total", 0)
+
+    def metadata_write_amplification(self) -> Optional[float]:
+        """NVM metadata-line writes per data-line write.
+
+        SCM cells wear out; a persistence protocol that writes several
+        metadata lines per data write multiplies device wear as well as
+        latency. Volatile/leaf sit near the floor, strict near the
+        tree height. None when the run produced no data writes.
+        """
+        data_writes = self.nvm_stats.get("nvm.writes.data", 0)
+        if data_writes == 0:
+            return None
+        total_writes = self.nvm_stats.get("nvm.writes.total", 0)
+        return (total_writes - data_writes) / data_writes
+
+    def cycles_per_access(self) -> float:
+        return self.cycles / self.accesses if self.accesses else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult({self.workload!r}, {self.protocol!r}, "
+            f"cycles={self.cycles}, cpa={self.cycles_per_access():.1f})"
+        )
+
+
+def normalized_cycles(
+    results: Mapping[str, SimulationResult],
+    baseline: str = "volatile",
+) -> Dict[str, float]:
+    """Cycles of each protocol divided by the baseline's cycles."""
+    if baseline not in results:
+        raise KeyError(f"baseline {baseline!r} missing from results")
+    base = results[baseline].cycles
+    if base <= 0:
+        raise ValueError("baseline run recorded no cycles")
+    return {name: result.cycles / base for name, result in results.items()}

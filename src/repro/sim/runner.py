@@ -1,0 +1,80 @@
+"""Experiment runner: protocol sweeps over identical traces.
+
+Each protocol gets a *fresh machine* but the *same virtual trace*, so
+differences come only from the protocol (and, for ``amnt++``, the
+modified OS's physical placement — which is the experiment). The runner
+is the building block every figure's benchmark harness uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.sim.engine import simulate
+from repro.sim.machine import build_machine
+from repro.sim.results import SimulationResult, normalized_cycles
+from repro.util.rng import Seed
+from repro.workloads.trace import Trace
+
+#: The protocol lineup of the paper's runtime figures (4, 5, 8).
+FIGURE_PROTOCOLS = ("volatile", "leaf", "strict", "anubis", "bmf", "amnt")
+FIGURE_PROTOCOLS_WITH_OS = FIGURE_PROTOCOLS + ("amnt++",)
+
+
+def run_protocol_sweep(
+    trace: Trace,
+    config: SystemConfig,
+    protocols: Sequence[str] = FIGURE_PROTOCOLS,
+    seed: Seed = 0,
+    scatter_span_chunks: int = 0,
+    churn_interval: int = 16384,
+) -> Dict[str, SimulationResult]:
+    """Run ``trace`` under each protocol on a fresh machine."""
+    results: Dict[str, SimulationResult] = {}
+    for name in protocols:
+        machine = build_machine(
+            config,
+            name,
+            seed=seed,
+            scatter_span_chunks=scatter_span_chunks,
+        )
+        results[name] = simulate(
+            machine, trace, seed=seed, churn_interval=churn_interval
+        )
+    return results
+
+
+def sweep_normalized(
+    trace: Trace,
+    config: SystemConfig,
+    protocols: Sequence[str] = FIGURE_PROTOCOLS,
+    seed: Seed = 0,
+    scatter_span_chunks: int = 0,
+    baseline: str = "volatile",
+) -> Dict[str, float]:
+    """Normalized cycles (the paper's y-axis) for each protocol."""
+    protocols = tuple(protocols)
+    if baseline not in protocols:
+        protocols = (baseline,) + protocols
+    results = run_protocol_sweep(
+        trace,
+        config,
+        protocols,
+        seed=seed,
+        scatter_span_chunks=scatter_span_chunks,
+    )
+    return normalized_cycles(results, baseline=baseline)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geomean used for 'average overhead' style summary numbers."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of nothing")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geometric mean requires positive values, got {value}")
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,42 @@
+"""Shared utilities: unit helpers, bit math, RNG, and statistics."""
+
+from repro.util.bitops import (
+    align_down,
+    align_up,
+    bit_length_exact,
+    ceil_div,
+    ilog2,
+    is_aligned,
+    is_power_of_two,
+)
+from repro.util.rng import make_rng
+from repro.util.stats import StatCounter, StatRegistry
+from repro.util.units import (
+    GB,
+    KB,
+    MB,
+    TB,
+    cycles_from_ns,
+    format_bytes,
+    ns_from_cycles,
+)
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "cycles_from_ns",
+    "ns_from_cycles",
+    "format_bytes",
+    "align_down",
+    "align_up",
+    "ceil_div",
+    "ilog2",
+    "bit_length_exact",
+    "is_aligned",
+    "is_power_of_two",
+    "make_rng",
+    "StatCounter",
+    "StatRegistry",
+]

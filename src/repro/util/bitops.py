@@ -1,0 +1,63 @@
+"""Bit-level math used by address decoding, cache indexing and the BMT.
+
+Everything here is pure and branch-light; these helpers sit on the
+simulator's hot path.
+"""
+
+from __future__ import annotations
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ilog2(value: int) -> int:
+    """Integer log2 of an exact power of two.
+
+    Raises ``ValueError`` for zero, negatives, or non-powers-of-two —
+    silent truncation here would corrupt address decoding.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"ilog2 requires a positive power of two, got {value}")
+    return value.bit_length() - 1
+
+
+def bit_length_exact(value: int) -> int:
+    """Number of bits needed to represent ``value`` distinct states.
+
+    E.g. a 64-entry structure needs 6 index bits.
+    """
+    if value <= 0:
+        raise ValueError(f"need a positive state count, got {value}")
+    if value == 1:
+        return 0
+    return (value - 1).bit_length()
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer division rounding toward positive infinity."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    return -(-numerator // denominator)
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """True when ``value`` is a multiple of ``alignment`` (a power of two)."""
+    if not is_power_of_two(alignment):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return (value & (alignment - 1)) == 0
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to the nearest multiple of ``alignment``."""
+    if not is_power_of_two(alignment):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the nearest multiple of ``alignment``."""
+    if not is_power_of_two(alignment):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return (value + alignment - 1) & ~(alignment - 1)

@@ -1,0 +1,54 @@
+"""Size and time unit helpers.
+
+The simulator accounts time in CPU cycles. Device datasheets (and the
+paper's Table 1) quote latencies in nanoseconds, so conversion helpers
+live here. Binary prefixes are used throughout (1 KB = 1024 bytes), in
+line with how memory capacities are specified in the paper.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+#: Default core clock used to convert device nanoseconds into cycles.
+#: 2 GHz keeps the arithmetic simple (1 ns == 2 cycles) and is in the
+#: range gem5's default out-of-order configurations use.
+DEFAULT_CLOCK_GHZ = 2.0
+
+
+def cycles_from_ns(nanoseconds: float, clock_ghz: float = DEFAULT_CLOCK_GHZ) -> int:
+    """Convert a latency in nanoseconds to an integer cycle count.
+
+    Rounds up: a device busy for any fraction of a cycle occupies the
+    whole cycle.
+    """
+    if nanoseconds < 0:
+        raise ValueError(f"latency must be non-negative, got {nanoseconds}")
+    cycles = nanoseconds * clock_ghz
+    whole = int(cycles)
+    return whole if cycles == whole else whole + 1
+
+
+def ns_from_cycles(cycles: int, clock_ghz: float = DEFAULT_CLOCK_GHZ) -> float:
+    """Convert a cycle count back to nanoseconds."""
+    if cycles < 0:
+        raise ValueError(f"cycles must be non-negative, got {cycles}")
+    return cycles / clock_ghz
+
+
+def format_bytes(num_bytes: int) -> str:
+    """Render a byte count with a binary-prefix unit, e.g. ``128.0MB``.
+
+    Used by reports and ``__repr__`` methods; not meant for parsing.
+    """
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024.0:
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024.0
+    return f"{value:.1f}TB"

@@ -1,0 +1,31 @@
+"""Workload substrate: traces, synthetic generators, benchmark profiles.
+
+The paper evaluates on PARSEC 3.0 and SPEC CPU 2017 under gem5. Neither
+the suites nor the simulator are available here, so workloads are
+*synthetic traces* generated from per-benchmark profiles
+(:mod:`repro.workloads.parsec`, :mod:`repro.workloads.spec`) that encode
+the characteristics the protocols are actually sensitive to: footprint,
+write fraction, hot-region concentration, spatial locality, and compute
+intensity. DESIGN.md documents this substitution.
+"""
+
+from repro.workloads.multiprogram import interleave, multiprogram_trace
+from repro.workloads.multithread import multithread_trace
+from repro.workloads.storage import StorageProfile, generate_storage_trace
+from repro.workloads.ycsb import YCSBWorkload, generate_ycsb_trace
+from repro.workloads.synthetic import WorkloadProfile, generate_trace
+from repro.workloads.trace import MemoryAccess, Trace
+
+__all__ = [
+    "MemoryAccess",
+    "Trace",
+    "WorkloadProfile",
+    "generate_trace",
+    "interleave",
+    "multiprogram_trace",
+    "multithread_trace",
+    "StorageProfile",
+    "generate_storage_trace",
+    "YCSBWorkload",
+    "generate_ycsb_trace",
+]

@@ -1,0 +1,53 @@
+"""Multithreaded workload construction (the paper's §6.5 setting).
+
+The SPEC evaluation runs *multithreaded* benchmarks on a four-core
+machine. Unlike the multiprogram case (§6.2), threads share one address
+space: their combined footprint still forms one physically contiguous
+hot region, so AMNT's single-subtree assumption survives thread-level
+parallelism — the contrast that motivates AMNT++ only for multiprogram
+interference. ``benchmarks/test_ablation_multithread.py`` measures
+exactly that contrast.
+
+Threads are modeled as per-thread streams over the *same* profile and
+virtual base (same pid — one page table), with per-thread seeds so the
+streams interleave realistically, merged in virtual-time order.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.util.rng import Seed
+from repro.workloads.multiprogram import interleave
+from repro.workloads.synthetic import WorkloadProfile, generate_trace
+from repro.workloads.trace import Trace
+
+
+def multithread_trace(
+    profile: WorkloadProfile,
+    threads: int = 4,
+    seed: Seed = 0,
+    accesses_total: int = 0,
+) -> Trace:
+    """Generate a ``threads``-way multithreaded trace of ``profile``.
+
+    Each thread runs the same statistical behaviour over the shared
+    footprint (distinct stream positions and hot-pick sequences via
+    per-thread seeds). ``accesses_total`` optionally fixes the merged
+    length; by default each thread issues ``profile.num_accesses //
+    threads`` references so the total matches the single-thread
+    profile.
+    """
+    if threads < 1:
+        raise ValueError(f"need at least one thread, got {threads}")
+    per_thread = (accesses_total or profile.num_accesses) // threads
+    if per_thread < 1:
+        raise ValueError("trace too short for the requested thread count")
+    streams: List[Trace] = []
+    for thread in range(threads):
+        thread_profile = profile.scaled(accesses=per_thread)
+        streams.append(
+            generate_trace(thread_profile, seed=f"{seed}/t{thread}", pid=0)
+        )
+    merged = interleave(streams, name=f"{profile.name}x{threads}")
+    return merged

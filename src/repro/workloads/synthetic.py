@@ -1,0 +1,136 @@
+"""Synthetic trace generation from workload profiles.
+
+A :class:`WorkloadProfile` captures the statistical structure the
+secure-memory protocols respond to:
+
+* ``footprint_bytes`` — total virtual data touched; relative to the LLC
+  size this sets the memory intensity;
+* ``write_fraction`` — share of references that are stores (the
+  persistence protocols only act on writes reaching memory);
+* ``hot_fraction`` / ``hot_access_fraction`` — a contiguous hot region
+  covering ``hot_fraction`` of the footprint receives
+  ``hot_access_fraction`` of the references. This is the spatial
+  concentration AMNT's subtree tracks;
+* ``sequential_fraction`` — share of references that continue a
+  sequential stream (spatial locality, which drives both LLC and
+  metadata-cache efficacy; pointer-chasing workloads like *canneal*
+  set this low);
+* ``think_cycles`` — compute cycles between references (compute-bound
+  workloads set this high, hiding memory latency).
+
+Generation is a simple Markov mixture over these behaviours, driven by
+an explicitly seeded RNG, so every trace is a pure function of
+(profile, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.util.rng import Seed, make_rng
+from repro.workloads.trace import MemoryAccess, Trace
+
+BLOCK_BYTES = 64
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Statistical description of one benchmark's memory behaviour."""
+
+    name: str
+    footprint_bytes: int
+    num_accesses: int
+    write_fraction: float
+    #: Fraction of the footprint forming the contiguous hot region.
+    hot_fraction: float = 0.1
+    #: Fraction of accesses that land in the hot region.
+    hot_access_fraction: float = 0.8
+    #: Fraction of accesses continuing a sequential stream.
+    sequential_fraction: float = 0.5
+    #: The sequential stream cycles within a window of this fraction of
+    #: the footprint before wrapping (tiled/phased iteration, which is
+    #: what gives real benchmarks their cache and metadata locality).
+    #: 1.0 streams over the whole footprint.
+    stream_window_fraction: float = 1.0
+    #: Probability, at each window wrap, that the window relocates to a
+    #: new position in the footprint (phase change).
+    window_relocate_probability: float = 0.05
+    #: Compute cycles between successive references.
+    think_cycles: int = 10
+    #: Base virtual address of the footprint (distinct per program in
+    #: multiprogram runs so address spaces do not collide).
+    base_vaddr: int = 0x1000_0000
+
+    def __post_init__(self) -> None:
+        if self.footprint_bytes < BLOCK_BYTES:
+            raise ValueError("footprint must cover at least one block")
+        if self.num_accesses <= 0:
+            raise ValueError("trace must contain at least one access")
+        for field_name in (
+            "write_fraction",
+            "hot_fraction",
+            "hot_access_fraction",
+            "sequential_fraction",
+            "window_relocate_probability",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1], got {value}")
+        if not 0.0 < self.stream_window_fraction <= 1.0:
+            raise ValueError(
+                "stream_window_fraction must be in (0, 1], got "
+                f"{self.stream_window_fraction}"
+            )
+
+    def scaled(self, accesses: Optional[int] = None, **changes: object) -> "WorkloadProfile":
+        """Copy with a different trace length (or any other field).
+
+        Benchmarks shrink the paper's billion-instruction regions of
+        interest to laptop-scale traces; the profile's statistical
+        structure is length-invariant, so shapes are preserved.
+        """
+        if accesses is not None:
+            changes["num_accesses"] = accesses
+        return replace(self, **changes)
+
+
+def generate_trace(
+    profile: WorkloadProfile,
+    seed: Seed = 0,
+    pid: int = 0,
+) -> Trace:
+    """Generate a trace realizing ``profile``."""
+    rng = make_rng(f"{seed}/trace/{profile.name}/{pid}")
+    num_blocks = profile.footprint_bytes // BLOCK_BYTES
+    hot_blocks = max(1, int(num_blocks * profile.hot_fraction))
+    # The hot region sits at a deterministic offset inside the footprint
+    # (a third of the way in) rather than at the base: real hot data is
+    # some interior structure, not necessarily the first allocation.
+    hot_start = (num_blocks // 3) if num_blocks > hot_blocks * 2 else 0
+
+    accesses = []
+    window_blocks = max(1, int(num_blocks * profile.stream_window_fraction))
+    window_start = hot_start
+    stream_offset = rng.randrange(window_blocks)
+    for _ in range(profile.num_accesses):
+        if rng.random() < profile.sequential_fraction:
+            stream_offset += 1
+            if stream_offset >= window_blocks:
+                stream_offset = 0
+                if rng.random() < profile.window_relocate_probability:
+                    # Phase change: the tiled iteration moves on.
+                    window_start = rng.randrange(num_blocks)
+            block = (window_start + stream_offset) % num_blocks
+        elif rng.random() < profile.hot_access_fraction:
+            block = hot_start + rng.randrange(hot_blocks)
+            if block >= num_blocks:
+                block -= num_blocks
+        else:
+            block = rng.randrange(num_blocks)
+        vaddr = profile.base_vaddr + block * BLOCK_BYTES
+        is_write = rng.random() < profile.write_fraction
+        accesses.append(
+            MemoryAccess(vaddr, is_write, pid, profile.think_cycles)
+        )
+    return Trace(profile.name, accesses)

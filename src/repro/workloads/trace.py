@@ -1,0 +1,104 @@
+"""Memory access traces.
+
+A trace is a sequence of :class:`MemoryAccess` records — virtual
+addresses tagged with the issuing process — plus enough metadata for a
+harness to label results. Records are plain tuples under the hood
+(``__slots__`` dataclass) because traces run to hundreds of thousands
+of entries and sit on the simulator's hot path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryAccess:
+    """One CPU memory reference."""
+
+    vaddr: int
+    is_write: bool
+    pid: int
+    #: Compute cycles the core spends before issuing this reference —
+    #: the knob that makes a profile memory-bound or compute-bound.
+    think_cycles: int
+    #: True for a write the application explicitly persists (CLWB +
+    #: fence): the line is flushed from the cache hierarchy and the
+    #: write reaches memory immediately. This is how in-memory storage
+    #: applications enforce their persistence model on SCM.
+    flush: bool = False
+
+
+class Trace:
+    """A named, ordered collection of memory accesses."""
+
+    def __init__(
+        self,
+        name: str,
+        accesses: Optional[List[MemoryAccess]] = None,
+    ) -> None:
+        self.name = name
+        self.accesses: List[MemoryAccess] = accesses if accesses is not None else []
+
+    def append(self, access: MemoryAccess) -> None:
+        self.accesses.append(access)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self.accesses)
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def pids(self) -> List[int]:
+        return sorted({access.pid for access in self.accesses})
+
+    def write_fraction(self) -> float:
+        if not self.accesses:
+            return 0.0
+        writes = sum(1 for access in self.accesses if access.is_write)
+        return writes / len(self.accesses)
+
+    def footprint_pages(self, page_bytes: int = 4096) -> int:
+        """Distinct (pid, virtual page) pairs touched."""
+        return len(
+            {(access.pid, access.vaddr // page_bytes) for access in self.accesses}
+        )
+
+    # -- persistence (for sharing traces between harness runs) -----------
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "name": self.name,
+            "accesses": [
+                [
+                    access.vaddr,
+                    int(access.is_write),
+                    access.pid,
+                    access.think_cycles,
+                    int(access.flush),
+                ]
+                for access in self.accesses
+            ],
+        }
+        path.write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: Path) -> "Trace":
+        payload = json.loads(path.read_text())
+        accesses = [
+            MemoryAccess(vaddr, bool(write), pid, think, bool(flush))
+            for vaddr, write, pid, think, flush in payload["accesses"]
+        ]
+        return cls(payload["name"], accesses)
+
+    @classmethod
+    def from_accesses(
+        cls, name: str, accesses: Iterable[MemoryAccess]
+    ) -> "Trace":
+        return cls(name, list(accesses))
+
+    def __repr__(self) -> str:
+        return f"Trace(name={self.name!r}, len={len(self.accesses)})"

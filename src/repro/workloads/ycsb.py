@@ -1,0 +1,172 @@
+"""YCSB-style key-value workload mixes over secure SCM.
+
+The Yahoo! Cloud Serving Benchmark's canonical mixes are the lingua
+franca for storage-engine evaluation; expressing them here lets
+downstream users of this library benchmark the persistence protocols
+under the request mixes their systems actually serve. Each workload is
+a read/update/insert mix over a keyspace with a configurable request
+skew, compiled down to the same flush-tagged trace format the storage
+profiles use (updates and inserts persist; reads do not).
+
+| workload | mix | skew |
+|---|---|---|
+| A (update heavy) | 50 % read / 50 % update | zipfian |
+| B (read mostly)  | 95 % read /  5 % update | zipfian |
+| C (read only)    | 100 % read              | zipfian |
+| D (read latest)  | 95 % read /  5 % insert | latest  |
+| F (read-modify-write) | 50 % read / 50 % RMW | zipfian |
+
+(The scan-heavy workload E needs range queries, which a block-level
+trace cannot express meaningfully; it is intentionally omitted.)
+
+Keys map to 64 B record slots (`key * 64` within the footprint); the
+zipfian skew is approximated by the standard inverse-power draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.util.rng import Seed, make_rng
+from repro.util.units import MB
+from repro.workloads.trace import MemoryAccess, Trace
+
+BLOCK_BYTES = 64
+
+
+@dataclass(frozen=True)
+class YCSBWorkload:
+    """One YCSB mix."""
+
+    name: str
+    read_fraction: float
+    update_fraction: float
+    insert_fraction: float = 0.0
+    rmw_fraction: float = 0.0
+    #: "zipfian" or "latest" request distribution.
+    distribution: str = "zipfian"
+    zipf_theta: float = 0.99
+    record_count: int = 100_000
+    think_cycles: int = 15
+    base_vaddr: int = 0x2000_0000
+
+    def __post_init__(self) -> None:
+        total = (
+            self.read_fraction
+            + self.update_fraction
+            + self.insert_fraction
+            + self.rmw_fraction
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"{self.name}: operation mix sums to {total}")
+        if self.distribution not in ("zipfian", "latest"):
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.record_count * BLOCK_BYTES
+
+
+YCSB_WORKLOADS: Dict[str, YCSBWorkload] = {
+    "A": YCSBWorkload("A", read_fraction=0.5, update_fraction=0.5),
+    "B": YCSBWorkload("B", read_fraction=0.95, update_fraction=0.05),
+    "C": YCSBWorkload("C", read_fraction=1.0, update_fraction=0.0),
+    "D": YCSBWorkload(
+        "D",
+        read_fraction=0.95,
+        update_fraction=0.0,
+        insert_fraction=0.05,
+        distribution="latest",
+    ),
+    "F": YCSBWorkload(
+        "F", read_fraction=0.5, update_fraction=0.0, rmw_fraction=0.5
+    ),
+}
+
+
+def _zipf_key(rng, count: int, theta: float) -> int:
+    """Approximate zipfian draw: inverse-power transform of a uniform.
+
+    Rank r is drawn with probability ~ 1/r^theta; the continuous
+    approximation ``floor(count * u^(1/(1-theta)))`` is the standard
+    cheap stand-in for the YCSB generator's discrete harmonic draw.
+    """
+    u = rng.random()
+    rank = int(count * (u ** (1.0 / (1.0 - theta))))
+    return min(rank, count - 1)
+
+
+def generate_ycsb_trace(
+    workload: YCSBWorkload,
+    operations: int = 100_000,
+    seed: Seed = 0,
+    pid: int = 0,
+) -> Trace:
+    """Compile ``operations`` YCSB requests into a memory trace.
+
+    Reads touch one record block. Updates touch it as a flush-tagged
+    write. Inserts append a fresh record (growing the live keyspace;
+    "latest" reads then concentrate near the append frontier). RMWs are
+    a read followed by a flush-tagged write of the same record.
+    """
+    rng = make_rng(f"{seed}/ycsb/{workload.name}/{pid}")
+    accesses: List[MemoryAccess] = []
+    live_records = workload.record_count // 2  # D starts half-loaded
+    think = workload.think_cycles
+
+    def record_addr(key: int) -> int:
+        return workload.base_vaddr + key * BLOCK_BYTES
+
+    def pick_key() -> int:
+        if workload.distribution == "latest":
+            # Newest records are hottest: zipf over recency.
+            offset = _zipf_key(rng, live_records, workload.zipf_theta)
+            return live_records - 1 - offset
+        return _zipf_key(rng, live_records, workload.zipf_theta)
+
+    for _ in range(operations):
+        op = rng.random()
+        if op < workload.read_fraction:
+            accesses.append(
+                MemoryAccess(record_addr(pick_key()), False, pid, think)
+            )
+        elif op < workload.read_fraction + workload.update_fraction:
+            accesses.append(
+                MemoryAccess(
+                    record_addr(pick_key()), True, pid, think, flush=True
+                )
+            )
+        elif (
+            op
+            < workload.read_fraction
+            + workload.update_fraction
+            + workload.insert_fraction
+        ):
+            if live_records < workload.record_count:
+                live_records += 1
+            accesses.append(
+                MemoryAccess(
+                    record_addr(live_records - 1), True, pid, think, flush=True
+                )
+            )
+        else:  # read-modify-write
+            key = pick_key()
+            accesses.append(MemoryAccess(record_addr(key), False, pid, think))
+            accesses.append(
+                MemoryAccess(record_addr(key), True, pid, 1, flush=True)
+            )
+    return Trace(f"ycsb-{workload.name}", accesses)
+
+
+def ycsb_workload(name: str) -> YCSBWorkload:
+    try:
+        return YCSB_WORKLOADS[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown YCSB workload {name!r}; known: {sorted(YCSB_WORKLOADS)}"
+        ) from None
+
+
+def ycsb_names() -> List[str]:
+    return sorted(YCSB_WORKLOADS)

@@ -1,0 +1,48 @@
+"""Shared fixtures: small machines that keep functional tests fast.
+
+The paper's 8 GB geometry is exercised where the numbers matter
+(geometry, Table 3/4); functional crash tests run on a 64 MB device —
+identical code paths, much smaller trees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import default_config
+from repro.sim.machine import build_machine
+from repro.util.units import MB
+
+
+@pytest.fixture
+def small_config():
+    """64 MB PCM: 16k counter blocks, 5 integrity levels."""
+    return default_config(capacity_bytes=64 * MB)
+
+
+@pytest.fixture
+def paper_config():
+    """The paper's Table 1 machine (8 GB, level-3 subtree)."""
+    return default_config()
+
+
+@pytest.fixture
+def functional_machine_factory(small_config):
+    """Build functional-mode machines on the small device."""
+
+    def factory(protocol_name: str, config=None, **kwargs):
+        return build_machine(
+            config or small_config, protocol_name, functional=True, **kwargs
+        )
+
+    return factory
+
+
+@pytest.fixture
+def timing_machine_factory(small_config):
+    """Build timing-only machines on the small device."""
+
+    def factory(protocol_name: str, config=None, **kwargs):
+        return build_machine(config or small_config, protocol_name, **kwargs)
+
+    return factory

@@ -1,0 +1,78 @@
+"""Physical address decoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.mem.address import AddressSpace
+from repro.util.units import GB, MB
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(capacity_bytes=8 * GB)
+
+
+class TestBounds:
+    def test_check_accepts_valid(self, space):
+        assert space.check(0) == 0
+        assert space.check(8 * GB - 1) == 8 * GB - 1
+
+    def test_check_rejects_out_of_range(self, space):
+        with pytest.raises(AddressError):
+            space.check(8 * GB)
+        with pytest.raises(AddressError):
+            space.check(-1)
+
+    def test_contains(self, space):
+        assert space.contains(123)
+        assert not space.contains(8 * GB)
+
+    def test_capacity_must_be_whole_pages(self):
+        with pytest.raises(AddressError):
+            AddressSpace(capacity_bytes=4096 + 64)
+
+
+class TestDecomposition:
+    def test_block_index(self, space):
+        assert space.block_index(0) == 0
+        assert space.block_index(63) == 0
+        assert space.block_index(64) == 1
+
+    def test_block_base(self, space):
+        assert space.block_base(100) == 64
+
+    def test_page_index(self, space):
+        assert space.page_index(4095) == 0
+        assert space.page_index(4096) == 1
+
+    def test_block_offset_in_page_covers_0_to_63(self, space):
+        assert space.block_offset_in_page(0) == 0
+        assert space.block_offset_in_page(4032) == 63
+        assert space.block_offset_in_page(4096) == 0
+
+    def test_addr_of_block_roundtrip(self, space):
+        assert space.block_index(space.addr_of_block(12345)) == 12345
+
+    def test_addr_of_page_roundtrip(self, space):
+        assert space.page_index(space.addr_of_page(777)) == 777
+
+
+class TestTotals:
+    def test_counts(self):
+        space = AddressSpace(capacity_bytes=64 * MB)
+        assert space.num_blocks == 64 * MB // 64
+        assert space.num_pages == 64 * MB // 4096
+        assert space.blocks_per_page == 64
+
+
+@given(addr=st.integers(min_value=0, max_value=8 * GB - 1))
+def test_block_and_page_consistency(addr):
+    """A block's page equals the address's page; offsets stay in range."""
+    space = AddressSpace(capacity_bytes=8 * GB)
+    block = space.block_index(addr)
+    page = space.page_index(addr)
+    assert block // space.blocks_per_page == page
+    assert 0 <= space.block_offset_in_page(addr) < space.blocks_per_page
+    assert space.block_base(addr) <= addr < space.block_base(addr) + 64

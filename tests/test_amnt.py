@@ -1,0 +1,228 @@
+"""AMNT: the tree-within-a-tree protocol (Section 4)."""
+
+import pytest
+
+from repro.cache.metadata_cache import node_key
+from repro.config import default_config
+from repro.core.mee import MemoryEncryptionEngine
+from repro.core.protocol import make_protocol
+from repro.core.recovery import CrashInjector
+from repro.mem.backend import MetadataRegion
+from repro.mem.bandwidth import RecoveryBandwidthModel
+from repro.util.units import GB, MB, TB
+
+
+@pytest.fixture
+def config():
+    return default_config(capacity_bytes=64 * MB)
+
+
+def engine_for(config, functional=False):
+    return MemoryEncryptionEngine(
+        config, make_protocol("amnt", config), functional=functional
+    )
+
+
+def settle_subtree(mee, page=0):
+    """Write one page until the first selection interval elapses, so the
+    fast subtree lands on that page's region."""
+    interval = mee.config.amnt.movement_interval_writes
+    for _ in range(interval):
+        mee.write_block(page * 4096)
+    return mee.protocol.current_region
+
+
+class TestRegionArithmetic:
+    def test_region_of_counter(self, config):
+        mee = engine_for(config)
+        per_region = mee.geometry.counters_covered_by(config.amnt.subtree_level)
+        assert mee.protocol.region_of_counter(0) == 0
+        assert mee.protocol.region_of_counter(per_region) == 1
+
+    def test_region_of_frame_matches_counters(self, config):
+        mee = engine_for(config)
+        assert mee.protocol.region_of_frame(0) == 0
+        frames_per_region = mee.geometry.region_bytes(3) // 4096
+        assert mee.protocol.region_of_frame(frames_per_region) == 1
+
+    def test_no_subtree_before_first_interval(self, config):
+        mee = engine_for(config)
+        assert mee.protocol.current_region is None
+        assert mee.protocol.subtree_node() is None
+        assert not mee.protocol.in_subtree(0)
+
+
+class TestSelection:
+    def test_first_interval_selects_hot_region(self, config):
+        mee = engine_for(config)
+        region = settle_subtree(mee, page=0)
+        assert region == 0
+        assert mee.protocol.subtree_node() == (config.amnt.subtree_level, 0)
+
+    def test_selection_interval_counted(self, config):
+        mee = engine_for(config)
+        settle_subtree(mee)
+        assert (
+            mee.protocol.stats.get("selection_intervals") == 1
+        )
+
+    def test_stable_hotness_never_moves_again(self, config):
+        mee = engine_for(config)
+        settle_subtree(mee)
+        for _ in range(4 * config.amnt.movement_interval_writes):
+            mee.write_block(0)
+        assert mee.protocol.stats.get("movements") == 1
+
+
+class TestPersistenceSplit:
+    def test_in_subtree_writes_are_leaf_like(self, config):
+        mee = engine_for(config)
+        settle_subtree(mee, page=0)
+        tree_persists = mee.nvm.persists(MetadataRegion.TREE)
+        mee.write_block(0)
+        assert mee.nvm.persists(MetadataRegion.TREE) == tree_persists
+        assert mee.protocol.stats.get("subtree_hits") >= 1
+
+    def test_out_of_subtree_writes_are_strict(self, config):
+        mee = engine_for(config)
+        settle_subtree(mee, page=0)
+        tree_persists = mee.nvm.persists(MetadataRegion.TREE)
+        other_region_page = mee.geometry.counters_covered_by(3)
+        mee.write_block(other_region_page * 4096)
+        levels = mee.geometry.num_node_levels
+        assert mee.nvm.persists(MetadataRegion.TREE) == tree_persists + levels
+        assert mee.protocol.stats.get("subtree_misses") >= 1
+
+    def test_in_subtree_write_cheaper_than_outside(self, config):
+        mee = engine_for(config)
+        settle_subtree(mee, page=0)
+        inside = mee.write_block(0)
+        outside_page = mee.geometry.counters_covered_by(3)
+        outside = mee.write_block(outside_page * 4096)
+        assert inside < outside
+
+    def test_only_in_subtree_nodes_dirty(self, config):
+        """Section 4.2's dirty-bit argument: everything outside the
+        subtree is written through, so only in-subtree nodes can carry
+        dirty bits."""
+        mee = engine_for(config)
+        settle_subtree(mee, page=0)
+        outside_page = mee.geometry.counters_covered_by(3)
+        mee.write_block(outside_page * 4096)
+        level = config.amnt.subtree_level
+        for node_level, node_index in mee.mdcache.dirty_tree_nodes():
+            assert node_level > level
+            assert mee.protocol._node_in_subtree(
+                node_level, node_index, (level, 0)
+            )
+
+    def test_subtree_register_terminates_read_walk(self, config):
+        mee = engine_for(config)
+        settle_subtree(mee, page=0)
+        mee.mdcache.drop_all()  # force a cold walk
+        tree_reads_before = mee.nvm.reads(MetadataRegion.TREE)
+        mee.read_block(0)
+        tree_reads = mee.nvm.reads(MetadataRegion.TREE) - tree_reads_before
+        # Only the levels strictly below the subtree root are fetched.
+        levels_below = mee.geometry.num_node_levels - config.amnt.subtree_level
+        assert tree_reads == levels_below
+        assert mee.stats.get("walk_stopped_at_register") == 1
+
+
+class TestMovement:
+    def test_hotness_shift_moves_subtree(self, config):
+        mee = engine_for(config)
+        settle_subtree(mee, page=0)
+        other_page = mee.geometry.counters_covered_by(3) * 2
+        for _ in range(2 * config.amnt.movement_interval_writes):
+            mee.write_block(other_page * 4096)
+        assert mee.protocol.current_region == 2
+        assert mee.protocol.stats.get("movements") == 2
+
+    def test_movement_flushes_dirty_subtree_nodes(self, config):
+        mee = engine_for(config)
+        settle_subtree(mee, page=0)
+        # A few in-subtree (leaf-persistence) writes leave dirty nodes.
+        for _ in range(3):
+            mee.write_block(0)
+        assert any(True for _ in mee.mdcache.dirty_tree_nodes())
+        other_page = mee.geometry.counters_covered_by(3) * 2
+        for _ in range(2 * config.amnt.movement_interval_writes):
+            mee.write_block(other_page * 4096)
+        # Old subtree's interior got persisted on the move.
+        assert mee.protocol.stats.get("movement_flushes") > 0
+        old_subtree = (config.amnt.subtree_level, 0)
+        for node_level, node_index in mee.mdcache.dirty_tree_nodes():
+            assert not mee.protocol._node_in_subtree(
+                node_level, node_index, old_subtree
+            )
+
+    def test_register_tag_follows_subtree(self, config):
+        mee = engine_for(config)
+        settle_subtree(mee, page=0)
+        register = mee.registers.get("amnt_subtree_root")
+        assert tuple(register.tag) == (config.amnt.subtree_level, 0)
+
+
+class TestRecoveryModel:
+    def test_stale_fraction_is_one_region(self):
+        config = default_config()  # 8 GB
+        protocol = make_protocol("amnt", config)
+        assert protocol.stale_data_bytes(8 * GB) == 8 * GB / 64  # level 3
+
+    def test_table4_rows(self):
+        config = default_config()
+        model = RecoveryBandwidthModel(config.pcm)
+        leaf = make_protocol("leaf", config)
+        leaf_ms = leaf.recovery_ms(model, 2 * TB)
+        for level, divisor in ((2, 8), (3, 64), (4, 512)):
+            amnt = make_protocol("amnt", config.with_amnt(subtree_level=level))
+            assert amnt.recovery_ms(model, 2 * TB) == pytest.approx(
+                leaf_ms / divisor
+            )
+
+    def test_recovery_time_reconfigurable_via_level(self):
+        config = default_config()
+        model = RecoveryBandwidthModel(config.pcm)
+        l3 = make_protocol("amnt", config.with_amnt(subtree_level=3))
+        l4 = make_protocol("amnt", config.with_amnt(subtree_level=4))
+        assert l4.recovery_ms(model, 2 * TB) < l3.recovery_ms(model, 2 * TB)
+
+
+class TestFunctionalRecovery:
+    def test_crash_and_recover_in_subtree_data(self, config):
+        mee = engine_for(config, functional=True)
+        payload = b"amnt-hot".ljust(64, b"\x00")
+        interval = config.amnt.movement_interval_writes
+        for _ in range(interval + 3):
+            mee.write_block(0, data=payload)
+        outcome = CrashInjector(mee).crash_and_recover()
+        assert outcome.ok
+        assert mee.read_block_data(0) == payload
+
+    def test_recovery_detects_tampered_subtree_counters(self, config):
+        mee = engine_for(config, functional=True)
+        interval = config.amnt.movement_interval_writes
+        for _ in range(interval + 3):
+            mee.write_block(0, data=b"\x01" * 64)
+        injector = CrashInjector(mee)
+        injector.crash_only()
+        mee.nvm.backend.corrupt(MetadataRegion.COUNTERS, 0)
+        outcome = injector.recover()
+        assert not outcome.ok
+        assert "subtree" in outcome.detail
+
+    def test_nothing_selected_means_nothing_stale(self, config):
+        mee = engine_for(config, functional=True)
+        outcome = CrashInjector(mee).crash_and_recover()
+        assert outcome.ok
+        assert outcome.nodes_recomputed == 0
+
+
+class TestArea:
+    def test_table3_numbers(self, config):
+        mee = engine_for(config)
+        area = mee.protocol.area_overhead()
+        assert area.nonvolatile_on_chip_bytes == 64
+        assert area.volatile_on_chip_bytes == 96
+        assert area.in_memory_bytes == 0

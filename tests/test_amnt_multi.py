@@ -1,0 +1,116 @@
+"""Multi-subtree AMNT (the paper's rejected per-core alternative)."""
+
+import pytest
+
+from repro.config import default_config
+from repro.core.mee import MemoryEncryptionEngine
+from repro.core.protocol import make_protocol
+from repro.core.recovery import CrashInjector
+from repro.mem.backend import MetadataRegion
+from repro.util.units import GB, MB
+
+
+@pytest.fixture
+def config():
+    return default_config(capacity_bytes=64 * MB)
+
+
+def engine_for(config, functional=False):
+    return MemoryEncryptionEngine(
+        config, make_protocol("amnt-multi", config), functional=functional
+    )
+
+
+def region_page(mee, region):
+    """First page index inside a given level-3 region."""
+    return region * mee.geometry.counters_covered_by(3)
+
+
+def settle(mee, regions):
+    """Spread one selection interval's writes across ``regions``."""
+    interval = mee.config.amnt.movement_interval_writes
+    for i in range(interval):
+        region = regions[i % len(regions)]
+        mee.write_block(region_page(mee, region) * 4096)
+
+
+class TestFastSet:
+    def test_adopts_multiple_regions(self, config):
+        mee = engine_for(config)
+        settle(mee, [0, 1, 2])
+        assert set(mee.protocol.active_regions) == {0, 1, 2}
+
+    def test_fast_set_bounded_by_configured_subtrees(self, config):
+        mee = engine_for(config)
+        settle(mee, [0, 1, 2, 3, 5, 7])  # more regions than slots
+        assert len(mee.protocol.active_regions) <= config.amnt.multi_subtrees
+
+    def test_each_active_region_gets_leaf_persistence(self, config):
+        mee = engine_for(config)
+        settle(mee, [0, 1])
+        tree_persists = mee.nvm.persists(MetadataRegion.TREE)
+        mee.write_block(region_page(mee, 0) * 4096)
+        mee.write_block(region_page(mee, 1) * 4096)
+        assert mee.nvm.persists(MetadataRegion.TREE) == tree_persists
+
+    def test_inactive_region_stays_strict(self, config):
+        mee = engine_for(config)
+        settle(mee, [0, 1])
+        tree_persists = mee.nvm.persists(MetadataRegion.TREE)
+        mee.write_block(region_page(mee, 7) * 4096)
+        assert mee.nvm.persists(MetadataRegion.TREE) > tree_persists
+
+    def test_one_nv_register_per_subtree(self, config):
+        mee = engine_for(config)
+        names = mee.registers.names()
+        assert "amnt_subtree_root" in names
+        for slot in range(1, config.amnt.multi_subtrees):
+            assert f"amnt_subtree_root_{slot}" in names
+
+    def test_handles_multiprogram_style_split_without_os_help(self, config):
+        """The design's selling point: two hot regions both go fast."""
+        mee = engine_for(config)
+        settle(mee, [0, 3])
+        settle(mee, [0, 3])
+        hits = mee.protocol.stats.get("subtree_hits")
+        misses = mee.protocol.stats.get("subtree_misses")
+        assert hits / (hits + misses) > 0.45
+
+
+class TestRecoveryScaling:
+    def test_stale_bytes_scale_with_subtree_count(self):
+        config = default_config()  # 8 GB, 64 regions at level 3
+        single = make_protocol("amnt", config)
+        multi = make_protocol("amnt-multi", config)
+        assert multi.stale_data_bytes(8 * GB) == pytest.approx(
+            config.amnt.multi_subtrees * single.stale_data_bytes(8 * GB)
+        )
+
+    def test_functional_recovery_covers_all_regions(self, config):
+        mee = engine_for(config, functional=True)
+        payload_a = b"\x0a" * 64
+        payload_b = b"\x0b" * 64
+        interval = config.amnt.movement_interval_writes
+        for i in range(2 * interval):
+            if i % 2:
+                mee.write_block(region_page(mee, 0) * 4096, data=payload_a)
+            else:
+                mee.write_block(region_page(mee, 2) * 4096, data=payload_b)
+        assert len(mee.protocol.active_regions) >= 2
+        outcome = CrashInjector(mee).crash_and_recover()
+        assert outcome.ok, outcome.detail
+        assert mee.read_block_data(region_page(mee, 0) * 4096) == payload_a
+        assert mee.read_block_data(region_page(mee, 2) * 4096) == payload_b
+
+
+class TestHardwareCostObjection:
+    def test_nv_area_scales_with_subtrees(self, config):
+        """The paper's reason for rejecting this design, quantified."""
+        mee = engine_for(config)
+        area = mee.protocol.area_overhead()
+        assert area.nonvolatile_on_chip_bytes == 64 * config.amnt.multi_subtrees
+        single = MemoryEncryptionEngine(config, make_protocol("amnt", config))
+        assert (
+            area.nonvolatile_on_chip_bytes
+            > single.protocol.area_overhead().nonvolatile_on_chip_bytes
+        )

@@ -1,0 +1,115 @@
+"""AMNT++ free-list restructuring and the memory manager."""
+
+import pytest
+
+from repro.os.amntpp import AMNTPlusPlusRestructurer
+from repro.os.buddy import BuddyAllocator
+from repro.os.process import MemoryManager
+from repro.util.rng import make_rng
+
+
+def region_of(pfn: int) -> int:
+    """4 regions of 256 pages each over a 1024-page machine."""
+    return pfn // 256
+
+
+@pytest.fixture
+def aged_allocator():
+    allocator = BuddyAllocator(total_pages=1024, max_order=5)
+    allocator.scatter(make_rng(3), span_chunks=16)  # span 512 pages
+    return allocator
+
+
+class TestRestructure:
+    def test_biases_head_toward_one_region(self, aged_allocator):
+        restructurer = AMNTPlusPlusRestructurer(region_of_pfn=region_of)
+        chosen = restructurer.restructure(aged_allocator)
+        assert chosen >= 0
+        # Every next allocation until that region's pool drains comes
+        # from the chosen region.
+        for _ in range(32):
+            assert region_of(aged_allocator.alloc_pages(0)) == chosen
+
+    def test_chooses_region_with_most_free_chunks(self):
+        allocator = BuddyAllocator(total_pages=1024, max_order=5)
+        # Hold everything, then free 3 pages in region 2, 1 in region 0.
+        held = [allocator.alloc_pages(0) for _ in range(1024)]
+        for pfn in (512, 514, 516, 0):
+            allocator.free_pages(pfn, 0)
+        restructurer = AMNTPlusPlusRestructurer(region_of_pfn=region_of)
+        assert restructurer.restructure(allocator) == 2
+
+    def test_preserves_chunk_population(self, aged_allocator):
+        before = sorted(
+            (chunk.pfn, chunk.order) for chunk in aged_allocator.free_chunks()
+        )
+        AMNTPlusPlusRestructurer(region_of_pfn=region_of).restructure(
+            aged_allocator
+        )
+        after = sorted(
+            (chunk.pfn, chunk.order) for chunk in aged_allocator.free_chunks()
+        )
+        assert before == after  # reorder only, never create/destroy
+
+    def test_empty_allocator_is_harmless(self):
+        allocator = BuddyAllocator(total_pages=4, max_order=2)
+        allocator.alloc_pages(2)
+        restructurer = AMNTPlusPlusRestructurer(region_of_pfn=region_of)
+        assert restructurer.restructure(allocator) == -1
+
+    def test_instructions_charged_separately(self, aged_allocator):
+        restructurer = AMNTPlusPlusRestructurer(region_of_pfn=region_of)
+        restructurer.restructure(aged_allocator)
+        assert aged_allocator.stats.get("restructure_instructions") > 0
+        assert (
+            aged_allocator.instructions()
+            >= aged_allocator.stats.get("restructure_instructions")
+        )
+
+    def test_on_free_throttled_by_interval(self, aged_allocator):
+        restructurer = AMNTPlusPlusRestructurer(
+            region_of_pfn=region_of, reclaim_interval=4
+        )
+        ran = [restructurer.on_free(aged_allocator) for _ in range(8)]
+        assert ran == [False, False, False, True] * 2
+
+
+class TestMemoryManager:
+    def test_demand_paging_maps_on_first_touch(self):
+        mm = MemoryManager(BuddyAllocator(1024, max_order=5), page_bytes=4096)
+        paddr1 = mm.translate(0, 0x1000_0000)
+        paddr2 = mm.translate(0, 0x1000_0000 + 64)
+        assert paddr2 == paddr1 + 64  # same page
+        assert mm.stats.get("page_faults") == 1
+
+    def test_processes_have_distinct_spaces(self):
+        mm = MemoryManager(BuddyAllocator(1024, max_order=5), page_bytes=4096)
+        a = mm.translate(0, 0x1000_0000)
+        b = mm.translate(1, 0x1000_0000)
+        assert a // 4096 != b // 4096
+
+    def test_release_process_frees_frames(self):
+        mm = MemoryManager(BuddyAllocator(1024, max_order=5), page_bytes=4096)
+        for i in range(8):
+            mm.translate(0, i * 4096)
+        free_before = mm.allocator.free_pages_total()
+        assert mm.release_process(0) == 8
+        assert mm.allocator.free_pages_total() == free_before + 8
+
+    def test_release_unknown_pid_is_noop(self):
+        mm = MemoryManager(BuddyAllocator(1024, max_order=5))
+        assert mm.release_process(42) == 0
+
+    def test_churn_triggers_reclamation_path(self):
+        restructurer = AMNTPlusPlusRestructurer(
+            region_of_pfn=region_of, reclaim_interval=8
+        )
+        allocator = BuddyAllocator(1024, max_order=5)
+        mm = MemoryManager(allocator, restructurer=restructurer)
+        mm.churn(make_rng(1), bursts=2, pages_per_burst=16)
+        assert allocator.stats.get("restructures") >= 1
+        assert mm.modified_os
+
+    def test_stock_manager_reports_unmodified(self):
+        mm = MemoryManager(BuddyAllocator(1024, max_order=5))
+        assert not mm.modified_os

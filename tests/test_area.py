@@ -1,0 +1,64 @@
+"""Hardware area accounting (Table 3)."""
+
+import pytest
+
+from repro.config import default_config
+from repro.core.area import AreaOverhead, protocol_area_table
+from repro.util.units import KB
+
+
+@pytest.fixture
+def table():
+    rows = protocol_area_table(default_config())
+    return {row.protocol: row for row in rows}
+
+
+class TestTable3:
+    def test_default_rows_are_the_papers(self, table):
+        assert set(table) == {"bmf", "anubis", "amnt"}
+
+    def test_bmf_row(self, table):
+        # 4 kB NV root-set cache, 768 B of frequency counters.
+        assert table["bmf"].nonvolatile_on_chip_bytes == 4 * KB
+        assert table["bmf"].volatile_on_chip_bytes == 768
+        assert table["bmf"].in_memory_bytes == 0
+
+    def test_anubis_row(self, table):
+        # 64 B shadow root, 37 kB shadow cache, 37 kB shadow table.
+        assert table["anubis"].nonvolatile_on_chip_bytes == 64
+        assert table["anubis"].volatile_on_chip_bytes == 37 * KB
+        assert table["anubis"].in_memory_bytes == 37 * KB
+
+    def test_amnt_row(self, table):
+        # 64 B subtree register, 96 B history buffer, nothing in memory.
+        assert table["amnt"].nonvolatile_on_chip_bytes == 64
+        assert table["amnt"].volatile_on_chip_bytes == 96
+        assert table["amnt"].in_memory_bytes == 0
+
+    def test_amnt_wins_every_column_except_nv_tie(self, table):
+        amnt, anubis, bmf = table["amnt"], table["anubis"], table["bmf"]
+        assert amnt.nonvolatile_on_chip_bytes <= anubis.nonvolatile_on_chip_bytes
+        assert amnt.nonvolatile_on_chip_bytes < bmf.nonvolatile_on_chip_bytes
+        assert amnt.volatile_on_chip_bytes < anubis.volatile_on_chip_bytes
+        assert amnt.volatile_on_chip_bytes < bmf.volatile_on_chip_bytes
+        assert amnt.in_memory_bytes < anubis.in_memory_bytes
+
+
+class TestFormatting:
+    def test_row_rendering(self):
+        area = AreaOverhead(
+            "amnt",
+            nonvolatile_on_chip_bytes=64,
+            volatile_on_chip_bytes=96,
+            in_memory_bytes=0,
+        )
+        row = area.row()
+        assert row["nv_on_chip"] == "64B"
+        assert row["vol_on_chip"] == "96B"
+        assert row["in_memory"] == "-"
+
+    def test_custom_protocol_list(self):
+        rows = protocol_area_table(default_config(), ["leaf", "amnt"])
+        assert [row.protocol for row in rows] == ["leaf", "amnt"]
+        # Baselines add no hardware.
+        assert rows[0].nonvolatile_on_chip_bytes == 0

@@ -1,0 +1,72 @@
+"""Sparse NVM backing store."""
+
+import pytest
+
+from repro.mem.backend import MetadataRegion, SparseMemory
+
+
+class TestReadWrite:
+    def test_unwritten_reads_zero(self):
+        memory = SparseMemory()
+        assert memory.read(MetadataRegion.DATA, 5) == bytes(64)
+
+    def test_unwritten_custom_width(self):
+        memory = SparseMemory()
+        assert memory.read(MetadataRegion.HMACS, 5, width=8) == bytes(8)
+
+    def test_write_then_read(self):
+        memory = SparseMemory()
+        memory.write(MetadataRegion.DATA, 5, b"\x01" * 64)
+        assert memory.read(MetadataRegion.DATA, 5) == b"\x01" * 64
+
+    def test_regions_are_namespaces(self):
+        memory = SparseMemory()
+        memory.write(MetadataRegion.DATA, 5, b"\x01" * 64)
+        assert memory.read(MetadataRegion.COUNTERS, 5) == bytes(64)
+
+    def test_overwrite(self):
+        memory = SparseMemory()
+        memory.write(MetadataRegion.TREE, (2, 1), b"a" * 64)
+        memory.write(MetadataRegion.TREE, (2, 1), b"b" * 64)
+        assert memory.read(MetadataRegion.TREE, (2, 1)) == b"b" * 64
+
+    def test_write_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            SparseMemory().write(MetadataRegion.DATA, 0, "text")
+
+    def test_contains_and_erase(self):
+        memory = SparseMemory()
+        memory.write(MetadataRegion.DATA, 1, b"x")
+        assert memory.contains(MetadataRegion.DATA, 1)
+        memory.erase(MetadataRegion.DATA, 1)
+        assert not memory.contains(MetadataRegion.DATA, 1)
+
+    def test_lines_written_counts_footprint(self):
+        memory = SparseMemory()
+        for i in range(10):
+            memory.write(MetadataRegion.DATA, i, b"x")
+        memory.write(MetadataRegion.DATA, 0, b"y")  # overwrite, not new
+        assert memory.lines_written(MetadataRegion.DATA) == 10
+
+
+class TestSnapshotAndCorrupt:
+    def test_snapshot_is_independent(self):
+        memory = SparseMemory()
+        memory.write(MetadataRegion.DATA, 1, b"old")
+        frozen = memory.snapshot()
+        memory.write(MetadataRegion.DATA, 1, b"new")
+        assert frozen.read(MetadataRegion.DATA, 1, width=3) == b"old"
+
+    def test_corrupt_flips_first_byte_by_default(self):
+        memory = SparseMemory()
+        memory.write(MetadataRegion.DATA, 1, bytes(64))
+        old, new = memory.corrupt(MetadataRegion.DATA, 1)
+        assert old == bytes(64)
+        assert new[0] == 0xFF
+        assert memory.read(MetadataRegion.DATA, 1) == new
+
+    def test_corrupt_with_explicit_value(self):
+        memory = SparseMemory()
+        memory.write(MetadataRegion.DATA, 1, b"a" * 64)
+        _, new = memory.corrupt(MetadataRegion.DATA, 1, b"b" * 64)
+        assert new == b"b" * 64

@@ -1,0 +1,59 @@
+"""The analytic recovery-bandwidth model behind Table 4."""
+
+import pytest
+
+from repro.config import PCMConfig
+from repro.mem.bandwidth import RecoveryBandwidthModel, effective_recovery_bandwidth
+from repro.util.units import GB, TB
+
+
+@pytest.fixture
+def model():
+    return RecoveryBandwidthModel(PCMConfig())
+
+
+class TestBandwidthDerivation:
+    def test_read_bandwidth_is_12gbs(self, model):
+        assert model.read_bandwidth_bytes_per_s == 12 * GB
+
+    def test_write_share_is_one_eighth(self, model):
+        assert model.write_bandwidth_bytes_per_s == 12 * GB / 8
+
+    def test_effective_bandwidth_helper(self):
+        assert effective_recovery_bandwidth(PCMConfig()) == pytest.approx(12.0)
+
+
+class TestByteAccounting:
+    def test_counter_ratio_is_one_64th(self, model):
+        assert model.counter_bytes(64 * GB) == GB
+
+    def test_inner_tree_is_geometric_tail(self, model):
+        # leaves/(arity-1): 1 GB of counters -> 1/7 GB of inner nodes.
+        assert model.tree_bytes(64 * GB) == pytest.approx(GB / 7)
+
+
+class TestRebuildTimes:
+    def test_leaf_2tb_matches_table4(self, model):
+        # Paper Table 4: leaf persistence, 2 TB -> 6222.21 ms.
+        assert model.full_memory_rebuild_ms(2 * TB) == pytest.approx(
+            6222.21, rel=1e-4
+        )
+
+    def test_leaf_scales_linearly_with_memory(self, model):
+        t2 = model.full_memory_rebuild_ms(2 * TB)
+        t16 = model.full_memory_rebuild_ms(16 * TB)
+        t128 = model.full_memory_rebuild_ms(128 * TB)
+        assert t16 == pytest.approx(8 * t2)
+        assert t128 == pytest.approx(64 * t2)
+
+    def test_zero_stale_takes_zero_time(self, model):
+        assert model.rebuild_seconds(0) == 0.0
+
+    def test_subtree_scales_with_stale_fraction(self, model):
+        full = model.rebuild_milliseconds(2 * TB)
+        eighth = model.rebuild_milliseconds(2 * TB / 8)
+        assert eighth == pytest.approx(full / 8)
+
+    def test_fixed_traffic(self, model):
+        # 12 GB at 12 GB/s is one second.
+        assert model.fixed_traffic_ms(12 * GB) == pytest.approx(1000.0)

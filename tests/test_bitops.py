@@ -1,0 +1,105 @@
+"""Bit math helpers, including property tests on alignment identities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    align_down,
+    align_up,
+    bit_length_exact,
+    ceil_div,
+    ilog2,
+    is_aligned,
+    is_power_of_two,
+)
+
+
+class TestIsPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 64, 4096, 2**40])
+    def test_true_for_powers(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 100, 2**40 + 1])
+    def test_false_otherwise(self, value):
+        assert not is_power_of_two(value)
+
+
+class TestIlog2:
+    @pytest.mark.parametrize("value,expected", [(1, 0), (2, 1), (64, 6), (4096, 12)])
+    def test_exact_powers(self, value, expected):
+        assert ilog2(value) == expected
+
+    @pytest.mark.parametrize("value", [0, -4, 3, 12])
+    def test_rejects_non_powers(self, value):
+        with pytest.raises(ValueError):
+            ilog2(value)
+
+
+class TestBitLengthExact:
+    def test_one_state_needs_no_bits(self):
+        assert bit_length_exact(1) == 0
+
+    def test_64_states_need_6_bits(self):
+        # The history buffer's index width (Section 4.2).
+        assert bit_length_exact(64) == 6
+
+    def test_65_states_need_7_bits(self):
+        assert bit_length_exact(65) == 7
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bit_length_exact(0)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(16, 8) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(17, 8) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 8) == 0
+
+    def test_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    @given(st.integers(min_value=0, max_value=10**12), st.integers(min_value=1, max_value=10**6))
+    def test_matches_definition(self, n, d):
+        q = ceil_div(n, d)
+        assert (q - 1) * d < n or n == 0
+        assert q * d >= n
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(100, 64) == 64
+
+    def test_align_up(self):
+        assert align_up(100, 64) == 128
+
+    def test_aligned_value_is_fixed_point(self):
+        assert align_down(128, 64) == 128
+        assert align_up(128, 64) == 128
+
+    def test_is_aligned(self):
+        assert is_aligned(4096, 4096)
+        assert not is_aligned(4097, 4096)
+
+    def test_rejects_non_power_alignment(self):
+        with pytest.raises(ValueError):
+            align_up(10, 3)
+
+    @given(
+        st.integers(min_value=0, max_value=2**50),
+        st.sampled_from([1, 2, 64, 4096, 2**20]),
+    )
+    def test_align_properties(self, value, alignment):
+        down = align_down(value, alignment)
+        up = align_up(value, alignment)
+        assert down <= value <= up
+        assert down % alignment == 0
+        assert up % alignment == 0
+        assert up - down in (0, alignment)

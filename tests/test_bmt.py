@@ -1,0 +1,174 @@
+"""The functional Bonsai Merkle Tree: genesis, updates, crash, verify."""
+
+import pytest
+
+from repro.config import default_config
+from repro.crypto.counters import CounterBlock
+from repro.crypto.engine import RealCryptoEngine
+from repro.errors import CrashConsistencyError, IntegrityError
+from repro.integrity.bmt import BonsaiMerkleTree
+from repro.integrity.geometry import TreeGeometry
+from repro.mem.backend import MetadataRegion, SparseMemory
+from repro.util.units import MB
+
+
+@pytest.fixture
+def tree():
+    """64 MB worth of counters: 16384 leaves, 5 integrity levels."""
+    geometry = TreeGeometry.from_config(
+        default_config(capacity_bytes=64 * MB)
+    )
+    return BonsaiMerkleTree(geometry, RealCryptoEngine(), SparseMemory())
+
+
+def bumped(tree, index, offset=0):
+    block = tree.current_counter(index).copy()
+    block.bump(offset)
+    return block
+
+
+class TestGenesis:
+    def test_fresh_tree_verifies_everywhere(self, tree):
+        for index in (0, 1, 100, tree.geometry.num_counter_blocks - 1):
+            assert tree.verify_counter(index).ok
+
+    def test_fresh_tree_verifies_persisted_view(self, tree):
+        assert tree.verify_counter(0, persisted_only=True).ok
+
+    def test_root_register_initialized(self, tree):
+        assert len(tree.root_register) == 8
+
+    def test_genesis_nodes_identical_for_full_shape(self, tree):
+        a = tree.persisted_node_bytes((3, 0))
+        b = tree.persisted_node_bytes((3, 1))
+        assert a == b
+
+
+class TestUpdates:
+    def test_set_counter_updates_root(self, tree):
+        before = tree.root_register
+        tree.set_counter(0, bumped(tree, 0))
+        assert tree.root_register != before
+
+    def test_update_keeps_current_view_verified(self, tree):
+        tree.set_counter(5, bumped(tree, 5))
+        assert tree.verify_counter(5).ok
+
+    def test_unpersisted_update_breaks_persisted_view(self, tree):
+        tree.set_counter(5, bumped(tree, 5))
+        report = tree.verify_counter(5, persisted_only=True)
+        assert not report.ok
+
+    def test_persisted_update_with_lazy_nodes(self, tree):
+        tree.set_counter(5, bumped(tree, 5), persist=True)
+        # Counter persisted, nodes lazy: the persisted path still
+        # mismatches (leaf persistence's crash window).
+        report = tree.verify_counter(5, persisted_only=True)
+        assert not report.ok
+        assert tree.dirty_counters() == []
+        assert len(tree.dirty_nodes()) == tree.geometry.num_node_levels
+
+    def test_persist_path_clears_dirt(self, tree):
+        tree.set_counter(5, bumped(tree, 5))
+        written = tree.persist_path(5)
+        assert written == tree.geometry.num_node_levels + 1
+        assert tree.verify_counter(5, persisted_only=True).ok
+        assert tree.dirty_nodes() == []
+
+    def test_persist_path_idempotent(self, tree):
+        tree.set_counter(5, bumped(tree, 5))
+        tree.persist_path(5)
+        assert tree.persist_path(5) == 0
+
+    def test_sibling_counters_stay_valid(self, tree):
+        tree.set_counter(8, bumped(tree, 8))
+        assert tree.verify_counter(9).ok
+        assert tree.verify_counter(0).ok
+
+
+class TestCrash:
+    def test_crash_drops_overlay(self, tree):
+        tree.set_counter(3, bumped(tree, 3))
+        lost_counters, lost_nodes = tree.crash()
+        assert lost_counters == 1
+        assert lost_nodes == tree.geometry.num_node_levels
+        # Current view reverted to the (stale) persisted state.
+        assert tree.current_counter(3).is_zero()
+
+    def test_root_register_survives_crash(self, tree):
+        tree.set_counter(3, bumped(tree, 3))
+        register = tree.root_register
+        tree.crash()
+        assert tree.root_register == register
+
+    def test_post_crash_verification_fails_without_recovery(self, tree):
+        tree.set_counter(3, bumped(tree, 3), persist=True)
+        tree.crash()
+        assert not tree.verify_counter(3).ok
+
+
+class TestRecovery:
+    def test_rebuild_restores_consistency(self, tree):
+        for index in (0, 7, 300):
+            tree.set_counter(index, bumped(tree, index), persist=True)
+        tree.crash()
+        nodes = tree.rebuild_all_from_persisted()
+        assert nodes > 0
+        for index in (0, 7, 300, 50):
+            assert tree.verify_counter(index).ok
+
+    def test_rebuild_detects_lost_counters(self, tree):
+        tree.set_counter(3, bumped(tree, 3), persist=False)  # volatile!
+        tree.crash()
+        with pytest.raises(CrashConsistencyError):
+            tree.rebuild_all_from_persisted()
+
+    def test_subtree_rebuild_returns_value_and_count(self, tree):
+        tree.set_counter(0, bumped(tree, 0), persist=True)
+        tree.crash()
+        subtree = (2, 0)
+        value, count = tree.subtree_value_from_persisted(subtree)
+        assert len(value) == 64
+        assert count > 0
+
+    def test_recompute_and_persist_single_node(self, tree):
+        tree.set_counter(0, bumped(tree, 0), persist=True)
+        node = tree.geometry.ancestors_of_counter(0)[0]
+        value = tree.recompute_and_persist(node)
+        assert tree.persisted_node_bytes(node) == value
+
+
+class TestTamperDetection:
+    def test_corrupted_persisted_counter_detected(self, tree):
+        tree.set_counter(3, bumped(tree, 3), persist=True)
+        tree.persist_path(3)
+        tree.crash()
+        tree.backend.corrupt(MetadataRegion.COUNTERS, 3)
+        assert not tree.verify_counter(3).ok
+
+    def test_corrupted_tree_node_detected(self, tree):
+        tree.set_counter(3, bumped(tree, 3), persist=True)
+        tree.persist_path(3)
+        tree.crash()
+        node = tree.geometry.ancestors_of_counter(3)[1]
+        tree.backend.corrupt(MetadataRegion.TREE, node)
+        report = tree.verify_counter(3)
+        assert not report.ok
+
+    def test_tampered_rebuild_contradicts_register(self, tree):
+        tree.set_counter(3, bumped(tree, 3), persist=True)
+        tree.crash()
+        # Attacker replays the genesis counter during downtime.
+        tree.backend.write(
+            MetadataRegion.COUNTERS, 3, CounterBlock().encode()
+        )
+        with pytest.raises(CrashConsistencyError):
+            tree.rebuild_all_from_persisted()
+
+    def test_authenticate_or_raise(self, tree):
+        tree.set_counter(3, bumped(tree, 3), persist=True)
+        tree.persist_path(3)
+        tree.crash()
+        tree.backend.corrupt(MetadataRegion.COUNTERS, 3)
+        with pytest.raises(IntegrityError):
+            tree.authenticate_or_raise(3)

@@ -1,0 +1,73 @@
+"""Terminal bar chart rendering."""
+
+from repro.bench.charts import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert "(empty)" in bar_chart({})
+
+    def test_scales_to_maximum(self):
+        chart = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 5
+        assert lines[1].count("█") == 10
+
+    def test_values_printed(self):
+        chart = bar_chart({"leaf": 1.058}, precision=3)
+        assert "1.058" in chart
+
+    def test_title(self):
+        chart = bar_chart({"a": 1.0}, title="Figure 4")
+        assert chart.splitlines()[0] == "Figure 4"
+
+    def test_reference_marker_visible_beyond_bar(self):
+        chart = bar_chart({"a": 0.5}, width=10, reference=1.0)
+        # Bar fills half; the baseline marker sits at the end region.
+        assert "|" in chart
+
+    def test_reference_extends_scale(self):
+        # A reference above every value must widen the axis, not clip.
+        chart = bar_chart({"a": 0.5}, width=10, reference=2.0)
+        line = chart.splitlines()[0]
+        assert line.count("█") <= 3  # 0.5 of a 2.0-wide axis
+
+    def test_half_cell_rendering(self):
+        chart = bar_chart({"a": 1.0, "b": 0.55}, width=10)
+        assert "▌" in chart
+
+
+class TestGroupedBarChart:
+    def test_groups_and_members(self):
+        series = {
+            "canneal": {"amnt": 1.0, "anubis": 1.9},
+            "xz": {"amnt": 1.1, "anubis": 1.6},
+        }
+        chart = grouped_bar_chart(series, title="Fig")
+        assert "canneal:" in chart
+        assert "xz:" in chart
+        assert chart.count("amnt") == 2
+
+    def test_shared_axis_across_groups(self):
+        series = {
+            "small": {"p": 1.0},
+            "large": {"p": 4.0},
+        }
+        chart = grouped_bar_chart(series, width=8)
+        lines = [line for line in chart.splitlines() if "p" in line]
+        assert lines[0].count("█") == 2
+        assert lines[1].count("█") == 8
+
+    def test_member_order_respected(self):
+        series = {"g": {"b": 1.0, "a": 2.0}}
+        chart = grouped_bar_chart(series, members=["a", "b"])
+        lines = chart.splitlines()
+        assert lines[1].strip().startswith("a")
+
+    def test_missing_member_renders_zero(self):
+        series = {"g": {"a": 1.0}}
+        chart = grouped_bar_chart(series, members=["a", "b"])
+        assert "0.000" in chart
+
+    def test_empty(self):
+        assert "(empty)" in grouped_bar_chart({})

@@ -1,0 +1,86 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "lbm"])
+        args_dict = vars(args)
+        assert args_dict["benchmark"] == "lbm"
+        assert args_dict["subtree_level"] == 3
+
+    def test_experiment_name_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_protocols_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "lbm", "--protocols", "made-up"]
+            )
+
+
+class TestCommands:
+    def test_protocols_lists_registry(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        for name in ("amnt", "amnt++", "leaf", "strict", "anubis", "bmf"):
+            assert name in out
+
+    def test_area_table(self, capsys):
+        assert main(["area-table"]) == 0
+        out = capsys.readouterr().out
+        assert "96B" in out
+        assert "37.0KB" in out
+
+    def test_recovery_table(self, capsys):
+        assert main(["recovery-table"]) == 0
+        out = capsys.readouterr().out
+        assert "6222.22" in out
+        assert "AMNT L3" in out
+
+    def test_sweep_runs_small(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "swaptions",
+                "--accesses",
+                "2000",
+                "--protocols",
+                "volatile",
+                "leaf",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "swaptions" in out
+        assert "leaf" in out
+
+    def test_sweep_unknown_benchmark(self):
+        with pytest.raises(SystemExit, match="unknown benchmark"):
+            main(["sweep", "not-a-benchmark"])
+
+    def test_profiles_lists_all_suites(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        for name in ("canneal", "xz", "kvstore"):
+            assert name in out
+
+    def test_crash_drill_succeeds_for_amnt(self, capsys):
+        assert main(["crash-drill", "--protocol", "amnt", "--records", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery=OK" in out
+        assert "records_intact=80/80" in out
+
+    def test_crash_drill_fails_for_volatile(self, capsys):
+        assert main(
+            ["crash-drill", "--protocol", "volatile", "--records", "40"]
+        ) == 1
+        assert "recovery=FAILED" in capsys.readouterr().out

@@ -1,0 +1,127 @@
+"""System configuration: Table 1 defaults and validation."""
+
+import pytest
+
+from repro.config import (
+    AMNTConfig,
+    AnubisConfig,
+    BMFConfig,
+    MetadataCacheConfig,
+    OsirisConfig,
+    PCMConfig,
+    SecurityConfig,
+    SystemConfig,
+    default_config,
+)
+from repro.errors import ConfigError
+from repro.util.units import GB, KB
+
+
+class TestTable1Defaults:
+    """The defaults are the paper's Table 1 machine."""
+
+    def test_pcm_capacity_8gb(self):
+        assert default_config().pcm.capacity_bytes == 8 * GB
+
+    def test_pcm_latencies(self):
+        pcm = default_config().pcm
+        assert pcm.read_latency_ns == 305.0
+        assert pcm.write_latency_ns == 391.0
+
+    def test_pcm_latency_cycles_at_2ghz(self):
+        pcm = default_config().pcm
+        assert pcm.read_latency_cycles == 610
+        assert pcm.write_latency_cycles == 782
+
+    def test_metadata_cache_64kb_2cycles(self):
+        cache = default_config().metadata_cache
+        assert cache.capacity_bytes == 64 * KB
+        assert cache.access_latency_cycles == 2
+        assert cache.num_lines == 1024
+
+    def test_bmt_arities(self):
+        security = default_config().security
+        assert security.tree_arity == 8  # 8-ary integrity nodes
+        assert security.counters_per_block == 64  # 64-ary counters
+
+    def test_amnt_knobs(self):
+        amnt = default_config().amnt
+        assert amnt.subtree_level == 3
+        assert amnt.movement_interval_writes == 64
+        assert amnt.history_buffer_entries == 64
+
+    def test_history_buffer_is_768_bits(self):
+        # n * 2*log2(n) = 64 * 12 = 768 (Section 4.2).
+        assert default_config().amnt.history_buffer_bits == 768
+
+    def test_recovery_read_bandwidth_12gbs(self):
+        # 6 channels x 4 GB/s x 50% reads (Section 6.7).
+        pcm = default_config().pcm
+        assert pcm.recovery_read_bandwidth_bytes_per_s == 12 * GB
+
+
+class TestValidation:
+    def test_non_power_of_two_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            PCMConfig(capacity_bytes=3 * GB)
+
+    def test_nonpositive_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            PCMConfig(read_latency_ns=0)
+
+    def test_counter_arity_must_match_page_geometry(self):
+        with pytest.raises(ConfigError):
+            SecurityConfig(counters_per_block=32)
+
+    def test_metadata_cache_set_division(self):
+        with pytest.raises(ConfigError):
+            MetadataCacheConfig(capacity_bytes=64 * KB, associativity=3)
+
+    def test_subtree_level_must_exist(self):
+        with pytest.raises(ConfigError):
+            default_config(subtree_level=30)
+
+    def test_subtree_level_one_is_reserved_for_root(self):
+        with pytest.raises(ConfigError):
+            AMNTConfig(subtree_level=1)
+
+    def test_osiris_interval_positive(self):
+        with pytest.raises(ConfigError):
+            OsirisConfig(stop_loss_interval=0)
+
+    def test_bmf_root_set_divides(self):
+        with pytest.raises(ConfigError):
+            BMFConfig(root_set_bytes=100)
+
+    def test_memory_must_hold_a_page(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(pcm=PCMConfig(capacity_bytes=2048))
+
+
+class TestDerivedAndCopies:
+    def test_with_amnt_replaces_only_amnt(self):
+        config = default_config().with_amnt(subtree_level=4)
+        assert config.amnt.subtree_level == 4
+        assert config.pcm.capacity_bytes == 8 * GB
+
+    def test_with_pcm_replaces_only_pcm(self):
+        config = default_config().with_pcm(capacity_bytes=GB)
+        assert config.pcm.capacity_bytes == GB
+        assert config.amnt.subtree_level == 3
+
+    def test_default_config_kwargs(self):
+        config = default_config(capacity_bytes=GB, subtree_level=4)
+        assert config.pcm.capacity_bytes == GB
+        assert config.amnt.subtree_level == 4
+
+    def test_bmf_root_set_entries(self):
+        assert BMFConfig().root_set_entries == 64
+
+    def test_anubis_shadow_entry_bytes(self):
+        # 1024 lines x 37 B = 37 kB (Table 3).
+        assert AnubisConfig().shadow_entry_bytes == 37
+
+    def test_configs_are_frozen(self):
+        config = default_config()
+        with pytest.raises(AttributeError):
+            config.seed = 1

@@ -1,0 +1,109 @@
+"""JSON export of experiment outputs."""
+
+import pytest
+
+from repro.bench.export import export_experiment, load_experiment
+from repro.core.area import AreaOverhead
+
+
+class TestExport:
+    def test_roundtrip_plain_mapping(self, tmp_path):
+        data = {"canneal": {"amnt": 1.015, "anubis": 1.886}}
+        path = export_experiment(
+            "fig4", data, tmp_path / "fig4.json", parameters={"accesses": 100}
+        )
+        document = load_experiment(path)
+        assert document["experiment"] == "fig4"
+        assert document["parameters"] == {"accesses": 100}
+        assert document["data"]["canneal"]["amnt"] == 1.015
+
+    def test_dataclasses_serialized(self, tmp_path):
+        rows = [AreaOverhead("amnt", 64, 96, 0)]
+        path = export_experiment("table3", rows, tmp_path / "t3.json")
+        document = load_experiment(path)
+        assert document["data"][0]["protocol"] == "amnt"
+        assert document["data"][0]["volatile_on_chip_bytes"] == 96
+
+    def test_version_stamped(self, tmp_path):
+        import repro
+
+        path = export_experiment("x", {}, tmp_path / "x.json")
+        assert load_experiment(path)["library_version"] == repro.__version__
+
+    def test_tuple_keys_and_values_degrade_to_strings(self, tmp_path):
+        data = {"rows": [(3, 0), (3, 1)], "node": (2, 5)}
+        path = export_experiment("y", data, tmp_path / "y.json")
+        document = load_experiment(path)
+        assert document["data"]["rows"] == [[3, 0], [3, 1]]
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "z.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError, match="missing"):
+            load_experiment(path)
+
+
+class TestWriteAmplification:
+    def test_metric_from_nvm_stats(self):
+        from repro.sim.results import SimulationResult
+
+        result = SimulationResult(
+            workload="w",
+            protocol="strict",
+            cycles=1,
+            accesses=1,
+            llc_hit_rate=0.0,
+            mdcache_hit_rate=0.0,
+            instructions=1,
+            os_instructions=0,
+            page_faults=0,
+            nvm_stats={"nvm.writes.total": 1000, "nvm.writes.data": 100},
+        )
+        assert result.metadata_write_amplification() == pytest.approx(9.0)
+
+    def test_none_without_data_writes(self):
+        from repro.sim.results import SimulationResult
+
+        result = SimulationResult(
+            workload="w",
+            protocol="leaf",
+            cycles=1,
+            accesses=1,
+            llc_hit_rate=0.0,
+            mdcache_hit_rate=0.0,
+            instructions=1,
+            os_instructions=0,
+            page_faults=0,
+        )
+        assert result.metadata_write_amplification() is None
+
+    def test_strict_amplifies_more_than_leaf(self):
+        from dataclasses import replace
+
+        from repro.config import DataCacheConfig, default_config
+        from repro.sim.engine import simulate
+        from repro.sim.machine import build_machine
+        from repro.util.units import MB
+        from repro.workloads.synthetic import WorkloadProfile, generate_trace
+
+        config = replace(
+            default_config(capacity_bytes=64 * MB),
+            llc=DataCacheConfig(capacity_bytes=64 * 1024, associativity=16),
+        )
+        trace = generate_trace(
+            WorkloadProfile(
+                name="wa",
+                footprint_bytes=1 * MB,
+                num_accesses=3000,
+                write_fraction=0.5,
+                think_cycles=2,
+            ),
+            seed=5,
+        )
+        amplification = {}
+        for name in ("leaf", "strict"):
+            machine = build_machine(config, name, seed=5)
+            amplification[name] = simulate(
+                machine, trace, seed=5
+            ).metadata_write_amplification()
+        assert amplification["strict"] > amplification["leaf"] * 2

@@ -1,0 +1,147 @@
+"""BMT geometry: the shape arithmetic everything else trusts."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import default_config
+from repro.errors import ConfigError
+from repro.integrity.geometry import TreeGeometry
+from repro.util.units import GB, MB
+
+
+@pytest.fixture
+def paper_tree():
+    """8 GB, 8-ary: 2M counter blocks, 7 integrity levels + leaves."""
+    return TreeGeometry.from_config(default_config())
+
+
+class TestPaperGeometry:
+    def test_counter_blocks(self, paper_tree):
+        assert paper_tree.num_counter_blocks == 8 * GB // 4096
+
+    def test_eight_level_bmt(self, paper_tree):
+        # 7 integrity-node levels + the counter level == the paper's
+        # 8-level BMT (consistent with SGX).
+        assert paper_tree.num_node_levels == 7
+        assert paper_tree.num_levels == 8
+        assert paper_tree.counter_level == 8
+
+    def test_level_sizes_are_powers_of_arity(self, paper_tree):
+        assert paper_tree.nodes_at_level(1) == 1
+        assert paper_tree.nodes_at_level(2) == 8
+        assert paper_tree.nodes_at_level(3) == 64
+        assert paper_tree.nodes_at_level(7) == 8**6
+
+    def test_level3_region_is_128mb(self, paper_tree):
+        # Section 5: "at level 3 the coverage is 128MB for an 8GB memory".
+        assert paper_tree.region_bytes(3) == 128 * MB
+
+    def test_level3_has_64_subtree_regions(self, paper_tree):
+        # Section 4.2: "a subtree at level 3 (64 possible subtree regions)".
+        assert paper_tree.nodes_at_level(3) == 64
+
+    def test_root_covers_everything(self, paper_tree):
+        assert (
+            paper_tree.counters_covered_by(1) == paper_tree.num_counter_blocks
+        )
+
+    def test_total_nodes(self, paper_tree):
+        expected = sum(8**i for i in range(7))
+        assert paper_tree.total_nodes() == expected
+
+
+class TestParentChild:
+    def test_parent_of_counter(self, paper_tree):
+        assert paper_tree.parent((8, 9)) == (7, 1)
+
+    def test_parent_of_node(self, paper_tree):
+        assert paper_tree.parent((3, 63)) == (2, 7)
+
+    def test_root_has_no_parent(self, paper_tree):
+        with pytest.raises(ConfigError):
+            paper_tree.parent((1, 0))
+
+    def test_children_of_root(self, paper_tree):
+        assert list(paper_tree.children((1, 0))) == [(2, i) for i in range(8)]
+
+    def test_children_of_deepest_level_are_counters(self, paper_tree):
+        children = list(paper_tree.children((7, 0)))
+        assert children == [(8, i) for i in range(8)]
+
+    def test_parent_child_roundtrip(self, paper_tree):
+        node = (4, 123)
+        for child in paper_tree.children(node):
+            assert paper_tree.parent(child) == node
+
+    def test_out_of_range_rejected(self, paper_tree):
+        with pytest.raises(ConfigError):
+            paper_tree.parent((3, 64))
+        with pytest.raises(ConfigError):
+            paper_tree.nodes_at_level(0)
+
+
+class TestAncestry:
+    def test_path_runs_leafward_to_root(self, paper_tree):
+        path = paper_tree.ancestors_of_counter(0)
+        assert path[0] == (7, 0)
+        assert path[-1] == (1, 0)
+        assert len(path) == 7
+
+    def test_path_levels_strictly_decrease(self, paper_tree):
+        path = paper_tree.ancestors_of_counter(12345)
+        levels = [node[0] for node in path]
+        assert levels == sorted(levels, reverse=True)
+
+    def test_ancestor_at_level(self, paper_tree):
+        covered = paper_tree.counters_covered_by(3)
+        assert paper_tree.ancestor_at_level(covered - 1, 3) == 0
+        assert paper_tree.ancestor_at_level(covered, 3) == 1
+
+    def test_counter_range_roundtrip(self, paper_tree):
+        first, last = paper_tree.counter_range_of((3, 5))
+        assert paper_tree.ancestor_at_level(first, 3) == 5
+        assert paper_tree.ancestor_at_level(last - 1, 3) == 5
+        assert paper_tree.is_ancestor((3, 5), first)
+        assert not paper_tree.is_ancestor((3, 5), last)
+
+
+class TestIrregularShapes:
+    def test_tiny_tree(self):
+        tree = TreeGeometry(num_counter_blocks=1)
+        assert tree.num_node_levels == 1
+        assert tree.nodes_at_level(1) == 1
+
+    def test_non_power_counter_count(self):
+        tree = TreeGeometry(num_counter_blocks=100, arity=8)
+        # 100 -> 13 -> 2 -> 1
+        assert tree.num_node_levels == 3
+        assert tree.nodes_at_level(3) == 13
+        assert tree.nodes_at_level(2) == 2
+
+    def test_rejects_empty_tree(self):
+        with pytest.raises(ConfigError):
+            TreeGeometry(num_counter_blocks=0)
+
+    def test_rejects_unary(self):
+        with pytest.raises(ConfigError):
+            TreeGeometry(num_counter_blocks=8, arity=1)
+
+
+@given(
+    counter=st.integers(min_value=0, max_value=2**21 - 1),
+    level=st.integers(min_value=1, max_value=7),
+)
+def test_ancestor_consistency_property(counter, level):
+    """ancestor_at_level agrees with the ancestors_of_counter walk."""
+    tree = TreeGeometry.from_config(default_config())
+    path = tree.ancestors_of_counter(counter)
+    walked = {node_level: index for node_level, index in path}
+    assert walked[level] == tree.ancestor_at_level(counter, level)
+
+
+@given(counter=st.integers(min_value=0, max_value=2**21 - 1))
+def test_every_counter_under_its_level3_region(counter):
+    tree = TreeGeometry.from_config(default_config())
+    region = tree.ancestor_at_level(counter, 3)
+    assert tree.is_ancestor((3, region), counter)

@@ -1,0 +1,62 @@
+"""Machine construction and wiring."""
+
+import pytest
+
+from repro.config import default_config
+from repro.sim.machine import build_machine
+from repro.util.units import MB
+
+
+@pytest.fixture
+def config():
+    return default_config(capacity_bytes=64 * MB)
+
+
+class TestBuildMachine:
+    def test_protocol_bound_to_engine(self, config):
+        machine = build_machine(config, "amnt")
+        assert machine.protocol.mee is machine.mee
+        assert machine.protocol.display_name == "amnt"
+
+    def test_stock_os_for_plain_protocols(self, config):
+        for name in ("volatile", "leaf", "strict", "anubis", "bmf", "amnt"):
+            assert not build_machine(config, name).modified_os
+
+    def test_modified_os_for_amnt_plus_plus(self, config):
+        machine = build_machine(config, "amnt++")
+        assert machine.modified_os
+        assert machine.protocol.name == "amnt"
+
+    def test_allocator_sized_to_memory(self, config):
+        machine = build_machine(config, "leaf")
+        assert machine.mm.allocator.total_pages == 64 * MB // 4096
+
+    def test_scatter_ages_allocator(self, config):
+        fresh = build_machine(config, "leaf", seed=1)
+        aged = build_machine(config, "leaf", seed=1, scatter_span_chunks=8)
+        assert (
+            aged.mm.allocator.free_pages_total()
+            < fresh.mm.allocator.free_pages_total()
+        )
+
+    def test_boot_work_excluded_from_instruction_stats(self, config):
+        machine = build_machine(config, "amnt++", scatter_span_chunks=8)
+        assert machine.mm.allocator.instructions() == 0
+
+    def test_restructurer_region_granularity(self, config):
+        machine = build_machine(config, "amnt++")
+        restructurer = machine.mm.restructurer
+        pages_per_region = (
+            machine.mee.geometry.region_bytes(config.amnt.subtree_level) // 4096
+        )
+        assert restructurer.region_of_pfn(0) == 0
+        assert restructurer.region_of_pfn(pages_per_region) == 1
+
+    def test_functional_flag_builds_tree(self, config):
+        machine = build_machine(config, "leaf", functional=True)
+        assert machine.mee.functional
+        assert machine.mee.tree is not None
+
+    def test_timing_machine_has_no_tree(self, config):
+        machine = build_machine(config, "leaf")
+        assert machine.mee.tree is None

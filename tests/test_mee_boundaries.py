@@ -1,0 +1,72 @@
+"""MEE edge cases: address boundaries, tiny machines, determinism."""
+
+import pytest
+
+from repro.config import default_config
+from repro.core.mee import MemoryEncryptionEngine
+from repro.core.protocol import make_protocol, protocol_names
+from repro.errors import AddressError
+from repro.util.units import MB
+
+
+@pytest.fixture
+def config():
+    return default_config(capacity_bytes=64 * MB)
+
+
+class TestAddressBoundaries:
+    def test_first_and_last_block(self, config):
+        mee = MemoryEncryptionEngine(
+            config, make_protocol("leaf", config), functional=True
+        )
+        last = config.pcm.capacity_bytes - 64
+        mee.write_block(0, data=b"\x01" * 64)
+        mee.write_block(last, data=b"\x02" * 64)
+        assert mee.read_block_data(0) == b"\x01" * 64
+        assert mee.read_block_data(last) == b"\x02" * 64
+
+    def test_out_of_range_rejected(self, config):
+        mee = MemoryEncryptionEngine(config, make_protocol("leaf", config))
+        with pytest.raises(AddressError):
+            mee.read_block(config.pcm.capacity_bytes)
+        with pytest.raises(AddressError):
+            mee.write_block(-64)
+
+    def test_unaligned_addresses_hit_the_containing_block(self, config):
+        mee = MemoryEncryptionEngine(
+            config, make_protocol("leaf", config), functional=True
+        )
+        mee.write_block(100, data=b"\x03" * 64)  # block 1
+        assert mee.read_block_data(64) == b"\x03" * 64
+
+
+class TestTinyMachine:
+    def test_single_page_memory_rejected(self):
+        """Degenerate geometry: one page gives a one-node tree, which
+        cannot host any subtree level — configuration must refuse."""
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="exceeds tree depth"):
+            default_config(capacity_bytes=4096)
+
+    def test_two_level_machine_runs_leaf(self):
+        config = default_config(capacity_bytes=1 * MB, subtree_level=2)
+        mee = MemoryEncryptionEngine(
+            config, make_protocol("leaf", config), functional=True
+        )
+        mee.write_block(0, data=b"\x09" * 64)
+        assert mee.read_block_data(0) == b"\x09" * 64
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(set(protocol_names()) - {"amnt++"}))
+    def test_identical_runs_produce_identical_traffic(self, config, name):
+        def run():
+            mee = MemoryEncryptionEngine(config, make_protocol(name, config))
+            total = 0
+            for i in range(120):
+                total += mee.write_block((i % 16) * 4096)
+                total += mee.read_block(((i * 7) % 16) * 4096)
+            return total, mee.nvm.stats.snapshot()
+
+        assert run() == run()

@@ -1,0 +1,126 @@
+"""Functional MEE: real encryption, MACs, verification, tampering."""
+
+import pytest
+
+from repro.config import default_config
+from repro.core.mee import MemoryEncryptionEngine
+from repro.core.protocol import make_protocol
+from repro.errors import IntegrityError
+from repro.mem.backend import MetadataRegion
+from repro.util.units import MB
+
+
+@pytest.fixture
+def mee():
+    config = default_config(capacity_bytes=64 * MB)
+    return MemoryEncryptionEngine(
+        config, make_protocol("leaf", config), functional=True
+    )
+
+
+class TestReadWrite:
+    def test_write_then_read_roundtrip(self, mee):
+        mee.write_block(4096, data=b"\xabsecret".ljust(64, b"\x00"))
+        assert mee.read_block_data(4096) == b"\xabsecret".ljust(64, b"\x00")
+
+    def test_data_stored_encrypted(self, mee):
+        plaintext = b"\x11" * 64
+        mee.write_block(0, data=plaintext)
+        stored = mee.nvm.backend.read(MetadataRegion.DATA, 0)
+        assert stored != plaintext
+
+    def test_rewrites_change_ciphertext(self, mee):
+        """Temporal uniqueness: the same plaintext written twice to the
+        same address encrypts differently (fresh minor counter)."""
+        mee.write_block(0, data=b"\x22" * 64)
+        first = mee.nvm.backend.read(MetadataRegion.DATA, 0)
+        mee.write_block(0, data=b"\x22" * 64)
+        second = mee.nvm.backend.read(MetadataRegion.DATA, 0)
+        assert first != second
+
+    def test_same_plaintext_different_addresses_differ(self, mee):
+        """Spatial uniqueness (splicing defense at the pad level)."""
+        mee.write_block(0, data=b"\x33" * 64)
+        mee.write_block(64, data=b"\x33" * 64)
+        a = mee.nvm.backend.read(MetadataRegion.DATA, 0)
+        b = mee.nvm.backend.read(MetadataRegion.DATA, 1)
+        assert a != b
+
+    def test_uninitialized_read_is_zeros(self, mee):
+        assert mee.read_block_data(8 * 4096) == bytes(64)
+
+    def test_wrong_length_write_rejected(self, mee):
+        with pytest.raises(ValueError):
+            mee.write_block(0, data=b"short")
+
+    def test_read_block_data_requires_functional(self):
+        config = default_config(capacity_bytes=64 * MB)
+        timing = MemoryEncryptionEngine(config, make_protocol("leaf", config))
+        with pytest.raises(RuntimeError):
+            timing.read_block_data(0)
+
+
+class TestCounterOverflow:
+    def test_minor_overflow_triggers_page_reencryption(self, mee):
+        mee.write_block(0, data=b"\x01" * 64)  # neighbor in same page
+        for _ in range(128):
+            mee.write_block(64, data=b"\x02" * 64)
+        assert mee.stats.get("minor_overflows") == 1
+        # The neighbor re-encrypted under the new major still decrypts.
+        assert mee.read_block_data(0) == b"\x01" * 64
+        assert mee.read_block_data(64) == b"\x02" * 64
+
+
+class TestTamperDetection:
+    def test_corrupted_data_detected(self, mee):
+        mee.write_block(0, data=b"\x42" * 64)
+        mee.nvm.backend.corrupt(MetadataRegion.DATA, 0)
+        with pytest.raises(IntegrityError):
+            mee.read_block_data(0)
+
+    def test_spliced_data_detected(self, mee):
+        """Moving valid ciphertext+MAC to another address must fail."""
+        mee.write_block(0, data=b"\x42" * 64)
+        mee.write_block(64, data=b"\x43" * 64)
+        backend = mee.nvm.backend
+        backend.write(
+            MetadataRegion.DATA, 1, backend.read(MetadataRegion.DATA, 0)
+        )
+        backend.write(
+            MetadataRegion.HMACS, 1, backend.read(MetadataRegion.HMACS, 0, 8)
+        )
+        # Flush the cached MAC so the read sees the spliced one.
+        mee._volatile_hmacs.clear()
+        with pytest.raises(IntegrityError):
+            mee.read_block_data(64)
+
+    def test_replayed_block_detected(self, mee):
+        """Replaying an older (ciphertext, MAC) pair at the same address
+        fails because the counter has moved on."""
+        mee.write_block(0, data=b"v1".ljust(64, b"\x00"))
+        backend = mee.nvm.backend
+        old_data = backend.read(MetadataRegion.DATA, 0)
+        old_mac = backend.read(MetadataRegion.HMACS, 0, 8)
+        mee.write_block(0, data=b"v2".ljust(64, b"\x00"))
+        backend.write(MetadataRegion.DATA, 0, old_data)
+        backend.write(MetadataRegion.HMACS, 0, old_mac)
+        mee._volatile_hmacs.clear()
+        with pytest.raises(IntegrityError):
+            mee.read_block_data(0)
+
+    def test_tampered_persisted_counter_detected_after_crash(self, mee):
+        mee.write_block(0, data=b"\x55" * 64)
+        mee.crash()
+        mee.protocol.recover(mee.tree)
+        mee.nvm.backend.corrupt(MetadataRegion.COUNTERS, 0)
+        with pytest.raises(IntegrityError):
+            mee.read_block_data(0)
+
+
+class TestRootRegisterDiscipline:
+    def test_root_register_tracks_every_write(self, mee):
+        before = mee.tree.root_register
+        mee.write_block(0, data=b"\x01" * 64)
+        after_one = mee.tree.root_register
+        mee.write_block(4096, data=b"\x02" * 64)
+        assert before != after_one != mee.tree.root_register

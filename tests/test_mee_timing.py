@@ -1,0 +1,125 @@
+"""The MEE's timing behaviour: cache walks, fills, write paths."""
+
+import pytest
+
+from repro.cache.metadata_cache import counter_key, hmac_key, node_key
+from repro.config import default_config
+from repro.core.mee import MemoryEncryptionEngine
+from repro.core.protocol import make_protocol
+from repro.mem.backend import MetadataRegion
+from repro.util.units import MB
+
+
+@pytest.fixture
+def config():
+    return default_config(capacity_bytes=64 * MB)
+
+
+def engine_for(config, name="volatile"):
+    return MemoryEncryptionEngine(config, make_protocol(name, config))
+
+
+class TestReadPath:
+    def test_cold_read_fetches_full_path(self, config):
+        mee = engine_for(config)
+        mee.read_block(0)
+        # data + counter + every node level + hmac line.
+        levels = mee.geometry.num_node_levels
+        assert mee.nvm.reads(MetadataRegion.DATA) == 1
+        assert mee.nvm.reads(MetadataRegion.COUNTERS) == 1
+        assert mee.nvm.reads(MetadataRegion.TREE) == levels
+        assert mee.nvm.reads(MetadataRegion.HMACS) == 1
+
+    def test_warm_read_stops_at_cached_node(self, config):
+        mee = engine_for(config)
+        mee.read_block(0)
+        tree_reads = mee.nvm.reads(MetadataRegion.TREE)
+        mee.read_block(64)  # same page: counter + path all cached
+        assert mee.nvm.reads(MetadataRegion.TREE) == tree_reads
+
+    def test_sibling_page_shares_upper_path(self, config):
+        mee = engine_for(config)
+        mee.read_block(0)
+        tree_reads = mee.nvm.reads(MetadataRegion.TREE)
+        mee.read_block(8 * 4096)  # different leaf parent, shared upper
+        assert mee.nvm.reads(MetadataRegion.TREE) == tree_reads + 1
+
+    def test_read_returns_positive_cycles(self, config):
+        mee = engine_for(config)
+        assert mee.read_block(0) >= mee.nvm.read_latency_cycles
+
+    def test_walk_stop_stats(self, config):
+        mee = engine_for(config)
+        mee.read_block(0)
+        mee.read_block(64)
+        assert mee.stats.get("walk_stopped_at_cache") == 1
+
+
+class TestWritePath:
+    def test_write_dirties_counter_hmac_and_path(self, config):
+        mee = engine_for(config)  # volatile: nothing persists
+        mee.write_block(0)
+        assert mee.mdcache.is_dirty(counter_key(0))
+        assert mee.mdcache.is_dirty(hmac_key(0))
+        for node in mee.ancestor_path(0):
+            assert mee.mdcache.is_dirty(node_key(node[0], node[1]))
+
+    def test_volatile_write_never_persists(self, config):
+        mee = engine_for(config)
+        mee.write_block(0)
+        assert mee.nvm.persists() == 0
+
+    def test_data_write_reaches_nvm(self, config):
+        mee = engine_for(config)
+        mee.write_block(0)
+        assert mee.nvm.writes(MetadataRegion.DATA) == 1
+
+    def test_dirty_eviction_writes_back(self, config):
+        mee = engine_for(config)
+        capacity = mee.mdcache.capacity_lines()
+        # Touch enough distinct pages to overflow the metadata cache.
+        for page in range(capacity + 512):
+            mee.write_block(page * 4096)
+        assert mee.stats.get("metadata_writebacks") > 0
+        assert mee.nvm.writes(MetadataRegion.COUNTERS) > 0
+
+
+class TestPersistHelpers:
+    def test_persist_counter_cleans_line(self, config):
+        mee = engine_for(config)
+        mee.write_block(0)
+        assert mee.mdcache.is_dirty(counter_key(0))
+        cycles = mee.persist_counter_line(0)
+        assert cycles == mee.nvm.write_latency_cycles
+        assert not mee.mdcache.is_dirty(counter_key(0))
+        assert mee.nvm.persists(MetadataRegion.COUNTERS) == 1
+
+    def test_persist_tree_node_cleans_line(self, config):
+        mee = engine_for(config)
+        mee.write_block(0)
+        node = mee.ancestor_path(0)[0]
+        mee.persist_tree_node(node)
+        assert not mee.mdcache.is_dirty(node_key(node[0], node[1]))
+
+    def test_posted_write_cheaper_than_persist(self, config):
+        mee = engine_for(config)
+        assert 0 < mee.posted_write_cycles < mee.nvm.write_latency_cycles
+
+
+class TestPathMemo:
+    def test_ancestor_path_memoized(self, config):
+        mee = engine_for(config)
+        assert mee.ancestor_path(5) is mee.ancestor_path(5)
+
+    def test_path_matches_geometry(self, config):
+        mee = engine_for(config)
+        assert mee.ancestor_path(5) == mee.geometry.ancestors_of_counter(5)
+
+
+class TestCrash:
+    def test_crash_empties_volatile_structures(self, config):
+        mee = engine_for(config)
+        mee.write_block(0)
+        mee.crash()
+        assert mee.mdcache.occupancy() == 0
+        assert mee.stats.get("crashes") == 1

@@ -1,0 +1,83 @@
+"""Remaining edge coverage: empty traces, CLI experiments, model knobs."""
+
+import pytest
+
+from repro.cli import main
+from repro.config import PCMConfig
+from repro.mem.bandwidth import RecoveryBandwidthModel
+from repro.workloads.trace import Trace
+
+
+class TestEmptyTrace:
+    def test_statistics_degrade_gracefully(self):
+        trace = Trace("empty")
+        assert len(trace) == 0
+        assert trace.write_fraction() == 0.0
+        assert trace.footprint_pages() == 0
+        assert trace.pids() == []
+
+    def test_simulating_an_empty_trace(self):
+        from repro.config import default_config
+        from repro.sim.engine import simulate
+        from repro.sim.machine import build_machine
+        from repro.util.units import MB
+
+        machine = build_machine(default_config(capacity_bytes=64 * MB), "leaf")
+        result = simulate(machine, Trace("empty"), seed=1)
+        assert result.cycles == 0
+        assert result.accesses == 0
+        assert result.cycles_per_access() == 0.0
+
+
+class TestCLIExperiments:
+    def test_fig3_via_cli(self, capsys):
+        assert main(["experiment", "fig3", "--accesses", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "lbm (single)" in out
+        assert "top_region_share" in out
+
+    def test_table3_and_table4_via_experiment_alias(self, capsys):
+        assert main(["experiment", "table3"]) == 0
+        assert "96B" in capsys.readouterr().out
+        assert main(["experiment", "table4"]) == 0
+        assert "6222.22" in capsys.readouterr().out
+
+
+class TestBandwidthModelKnobs:
+    def test_arity_changes_write_share(self):
+        pcm = PCMConfig()
+        arity8 = RecoveryBandwidthModel(pcm, arity=8)
+        arity4 = RecoveryBandwidthModel(pcm, arity=4)
+        # With fewer children per parent, relatively more write traffic.
+        assert (
+            arity4.write_bandwidth_bytes_per_s
+            > arity8.write_bandwidth_bytes_per_s
+        )
+
+    def test_counter_ratio_scales_leaf_bytes(self):
+        pcm = PCMConfig()
+        dense = RecoveryBandwidthModel(pcm, counter_ratio=1 / 32)
+        sparse = RecoveryBandwidthModel(pcm, counter_ratio=1 / 64)
+        assert dense.counter_bytes(1 << 30) == 2 * sparse.counter_bytes(1 << 30)
+
+    def test_channel_count_scales_bandwidth(self):
+        slow = RecoveryBandwidthModel(PCMConfig(channels=3))
+        fast = RecoveryBandwidthModel(PCMConfig(channels=6))
+        assert fast.read_bandwidth_bytes_per_s == 2 * slow.read_bandwidth_bytes_per_s
+        assert slow.full_memory_rebuild_ms(1 << 40) == pytest.approx(
+            2 * fast.full_memory_rebuild_ms(1 << 40)
+        )
+
+
+class TestDefaultLineWidths:
+    def test_counter_block_fits_metadata_line(self):
+        from repro.crypto.counters import ENCODED_BYTES
+        from repro.integrity.bmt import NODE_BYTES
+
+        assert ENCODED_BYTES == NODE_BYTES == 64
+
+    def test_macs_per_hmac_line(self):
+        from repro.core.mee import MACS_PER_LINE
+
+        # 8 x 8 B MACs pack one 64 B line.
+        assert MACS_PER_LINE * 8 == 64

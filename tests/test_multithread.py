@@ -1,0 +1,75 @@
+"""Multithreaded traces (shared address space, §6.5)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import DataCacheConfig, default_config
+from repro.sim.engine import simulate
+from repro.sim.machine import build_machine
+from repro.util.units import MB
+from repro.workloads.multithread import multithread_trace
+from repro.workloads.spec import spec_profile
+from repro.workloads.synthetic import WorkloadProfile
+
+
+@pytest.fixture
+def profile():
+    return WorkloadProfile(
+        name="mt-unit",
+        footprint_bytes=2 * MB,
+        num_accesses=4000,
+        write_fraction=0.4,
+        think_cycles=5,
+    )
+
+
+class TestConstruction:
+    def test_total_length(self, profile):
+        trace = multithread_trace(profile, threads=4, seed=1)
+        assert len(trace) == 4000
+
+    def test_single_shared_address_space(self, profile):
+        trace = multithread_trace(profile, threads=4, seed=1)
+        assert trace.pids() == [0]
+
+    def test_threads_share_the_footprint(self, profile):
+        trace = multithread_trace(profile, threads=4, seed=1)
+        for access in trace.accesses[:200]:
+            assert (
+                profile.base_vaddr
+                <= access.vaddr
+                < profile.base_vaddr + profile.footprint_bytes
+            )
+
+    def test_name_tags_thread_count(self, profile):
+        assert multithread_trace(profile, threads=4, seed=1).name == "mt-unitx4"
+
+    def test_thread_streams_differ(self, profile):
+        one = multithread_trace(profile, threads=1, seed=1)
+        four = multithread_trace(profile, threads=4, seed=1)
+        assert one.accesses != four.accesses
+
+    def test_validation(self, profile):
+        with pytest.raises(ValueError):
+            multithread_trace(profile, threads=0)
+        with pytest.raises(ValueError):
+            multithread_trace(profile, threads=5000)
+
+
+class TestAMNTUnderThreads:
+    def test_shared_address_space_keeps_subtree_locality(self):
+        """The §6.5 point: multithreading (one address space) does not
+        break AMNT's hot-region assumption the way multiprogramming
+        does — the subtree hit rate stays high without AMNT++."""
+        config = replace(
+            default_config(capacity_bytes=64 * MB),
+            llc=DataCacheConfig(capacity_bytes=64 * 1024, associativity=16),
+        )
+        profile = spec_profile("lbm").scaled(accesses=6000, footprint_bytes=2 * MB)
+        trace = multithread_trace(profile, threads=4, seed=2)
+        machine = build_machine(config, "amnt", seed=2)
+        result = simulate(machine, trace, seed=2)
+        hit_rate = result.subtree_hit_rate()
+        assert hit_rate is not None
+        assert hit_rate > 0.9

@@ -1,0 +1,52 @@
+"""NVM device timing and access accounting."""
+
+import pytest
+
+from repro.config import PCMConfig
+from repro.mem.backend import MetadataRegion, SparseMemory
+from repro.mem.nvm import NVMDevice
+
+
+@pytest.fixture
+def device():
+    return NVMDevice(PCMConfig())
+
+
+class TestTiming:
+    def test_read_latency_matches_config(self, device):
+        assert device.read_access(MetadataRegion.DATA) == 610
+
+    def test_write_latency_matches_config(self, device):
+        assert device.write_access(MetadataRegion.DATA) == 782
+
+
+class TestAccounting:
+    def test_reads_counted_per_region(self, device):
+        device.read_access(MetadataRegion.DATA)
+        device.read_access(MetadataRegion.COUNTERS)
+        device.read_access(MetadataRegion.DATA)
+        assert device.reads() == 3
+        assert device.reads(MetadataRegion.DATA) == 2
+        assert device.reads(MetadataRegion.COUNTERS) == 1
+
+    def test_writes_and_persists_distinct(self, device):
+        device.write_access(MetadataRegion.TREE)
+        device.write_access(MetadataRegion.TREE, persist=True)
+        assert device.writes(MetadataRegion.TREE) == 2
+        assert device.persists(MetadataRegion.TREE) == 1
+        assert device.persists() == 1
+
+    def test_fresh_device_has_no_traffic(self, device):
+        assert device.reads() == 0
+        assert device.writes() == 0
+
+
+class TestBackendPlumbing:
+    def test_load_store_roundtrip(self):
+        device = NVMDevice(PCMConfig(), backend=SparseMemory())
+        device.store(MetadataRegion.DATA, 7, b"\x07" * 64)
+        assert device.load(MetadataRegion.DATA, 7) == b"\x07" * 64
+
+    def test_load_without_backend_raises(self, device):
+        with pytest.raises(RuntimeError):
+            device.load(MetadataRegion.DATA, 0)

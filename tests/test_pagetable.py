@@ -1,0 +1,45 @@
+"""Per-process page tables."""
+
+import pytest
+
+from repro.os.pagetable import PageTable
+
+
+class TestPageTable:
+    def test_translate_unmapped_is_none(self):
+        assert PageTable().translate(0x1234) is None
+
+    def test_map_and_translate(self):
+        table = PageTable()
+        table.map(3, 17)
+        assert table.translate(3 * 4096 + 100) == 17 * 4096 + 100
+
+    def test_lookup(self):
+        table = PageTable()
+        table.map(3, 17)
+        assert table.lookup(3) == 17
+        assert table.lookup(4) is None
+
+    def test_double_map_rejected(self):
+        table = PageTable()
+        table.map(3, 17)
+        with pytest.raises(KeyError):
+            table.map(3, 18)
+
+    def test_unmap(self):
+        table = PageTable()
+        table.map(3, 17)
+        assert table.unmap(3) == 17
+        assert table.translate(3 * 4096) is None
+
+    def test_len_and_iteration(self):
+        table = PageTable()
+        table.map(1, 10)
+        table.map(2, 20)
+        assert len(table) == 2
+        assert dict(table.mapped_pages()) == {1: 10, 2: 20}
+
+    def test_custom_page_size(self):
+        table = PageTable(page_bytes=8192)
+        table.map(1, 5)
+        assert table.translate(8192 + 1) == 5 * 8192 + 1

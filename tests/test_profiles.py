@@ -1,0 +1,101 @@
+"""PARSEC and SPEC profile registries."""
+
+import pytest
+
+from repro.workloads.parsec import (
+    MULTIPROGRAM_PAIRS,
+    PARSEC_PROFILES,
+    parsec_names,
+    parsec_profile,
+)
+from repro.workloads.spec import SPEC_PROFILES, spec_names, spec_profile
+
+
+class TestParsecRegistry:
+    def test_thirteen_benchmarks(self):
+        assert len(PARSEC_PROFILES) == 13
+
+    def test_paper_benchmarks_present(self):
+        for name in (
+            "blackscholes", "bodytrack", "canneal", "fluidanimate",
+            "freqmine", "streamcluster", "swaptions", "x264",
+        ):
+            assert name in PARSEC_PROFILES
+
+    def test_lookup(self):
+        assert parsec_profile("canneal").name == "canneal"
+
+    def test_unknown_name_helpful_error(self):
+        with pytest.raises(KeyError, match="unknown PARSEC"):
+            parsec_profile("nope")
+
+    def test_names_sorted(self):
+        assert parsec_names() == sorted(parsec_names())
+
+    def test_canneal_is_pointer_chasing(self):
+        # The characteristic the paper leans on: essentially no
+        # sequential locality, weak hot set, memory bound.
+        canneal = parsec_profile("canneal")
+        assert canneal.sequential_fraction < 0.1
+        assert canneal.think_cycles < 15
+
+    def test_fluidanimate_is_write_intensive(self):
+        assert parsec_profile("fluidanimate").write_fraction >= 0.35
+
+    def test_swaptions_is_cache_resident(self):
+        assert parsec_profile("swaptions").footprint_bytes <= 2 * 1024 * 1024
+
+    def test_multiprogram_pairs_are_the_papers(self):
+        assert ("bodytrack", "fluidanimate") in MULTIPROGRAM_PAIRS
+        assert ("swaptions", "streamcluster") in MULTIPROGRAM_PAIRS
+        assert ("x264", "freqmine") in MULTIPROGRAM_PAIRS
+
+    def test_pairs_reference_known_profiles(self):
+        for a, b in MULTIPROGRAM_PAIRS:
+            assert a in PARSEC_PROFILES and b in PARSEC_PROFILES
+
+
+class TestSpecRegistry:
+    def test_benchmark_count(self):
+        assert len(SPEC_PROFILES) == 18
+
+    def test_paper_highlighted_benchmarks_present(self):
+        for name in ("xz", "lbm", "deepsjeng", "cactuBSSN", "mcf"):
+            assert name in SPEC_PROFILES
+
+    def test_lookup(self):
+        assert spec_profile("xz").name == "xz"
+
+    def test_unknown_name_helpful_error(self):
+        with pytest.raises(KeyError, match="unknown SPEC"):
+            spec_profile("nope")
+
+    def test_names_sorted(self):
+        assert spec_names() == sorted(spec_names())
+
+    def test_xz_is_most_write_intensive(self):
+        # Section 6.5: "xz, the most write memory intensive benchmark".
+        xz = spec_profile("xz")
+        assert xz.write_fraction == max(
+            profile.write_fraction for profile in SPEC_PROFILES.values()
+        )
+
+    def test_read_intensive_benchmarks(self):
+        # cactuBSSN and mcf are "mostly read memory-intensive".
+        for name in ("cactuBSSN", "mcf"):
+            profile = SPEC_PROFILES[name]
+            assert profile.write_fraction <= 0.10
+            assert profile.think_cycles <= 10
+
+
+class TestProfileSanity:
+    @pytest.mark.parametrize(
+        "profile",
+        list(PARSEC_PROFILES.values()) + list(SPEC_PROFILES.values()),
+        ids=lambda profile: profile.name,
+    )
+    def test_every_profile_generates(self, profile):
+        from repro.workloads.synthetic import generate_trace
+
+        trace = generate_trace(profile.scaled(accesses=200), seed=0)
+        assert len(trace) == 200

@@ -1,0 +1,111 @@
+"""Property-based tests on protocol invariants.
+
+These drive random write/read sequences through the engines and check
+the structural invariants the paper's arguments rest on:
+
+* **AMNT** (§4.2): only nodes inside the live subtree ever carry dirty
+  bits (the dirty-scan-on-movement argument), and after any crash the
+  recovery procedure succeeds with all persisted data verifying;
+* **BMF**: the persistent root set remains an exact antichain cover of
+  the leaves under any prune/merge schedule, and the nearest-root walk
+  always terminates;
+* **Osiris**: a persisted counter line is never more than
+  ``stop_loss - 1`` bumps stale.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import default_config
+from repro.core.mee import MemoryEncryptionEngine
+from repro.core.protocol import make_protocol
+from repro.core.recovery import CrashInjector
+from repro.util.units import MB
+
+CONFIG = default_config(capacity_bytes=64 * MB)
+
+#: Page indices drawn so several level-3 regions get traffic.
+pages = st.integers(min_value=0, max_value=1023)
+
+
+def _engine(name, functional=False):
+    return MemoryEncryptionEngine(
+        CONFIG, make_protocol(name, CONFIG), functional=functional
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(writes=st.lists(pages, min_size=1, max_size=300))
+def test_amnt_dirty_nodes_always_inside_live_subtree(writes):
+    mee = _engine("amnt")
+    protocol = mee.protocol
+    for page in writes:
+        mee.write_block(page * 4096)
+        subtree = protocol.subtree_node()
+        for level, index in mee.mdcache.dirty_tree_nodes():
+            assert subtree is not None, "dirty nodes before any selection"
+            assert protocol._node_in_subtree(level, index, subtree)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    writes=st.lists(pages, min_size=1, max_size=120),
+    data=st.data(),
+)
+def test_amnt_crash_recovery_always_succeeds(writes, data):
+    mee = _engine("amnt", functional=True)
+    payloads = {}
+    for page in writes:
+        addr = page * 4096
+        payload = bytes([page % 251 + 1]) * 64
+        mee.write_block(addr, data=payload)
+        payloads[addr] = payload
+    outcome = CrashInjector(mee).crash_and_recover()
+    assert outcome.ok, outcome.detail
+    sample = list(payloads.items())
+    for addr, payload in sample[: min(10, len(sample))]:
+        assert mee.read_block_data(addr) == payload
+
+
+@settings(max_examples=20, deadline=None)
+@given(writes=st.lists(pages, min_size=1, max_size=600))
+def test_bmf_coverage_invariant_under_any_schedule(writes):
+    mee = _engine("bmf")
+    protocol = mee.protocol
+    for page in writes:
+        mee.write_block(page * 4096)
+    assert protocol.covers_all_leaves()
+    # Every path still finds a persistent root.
+    for page in set(writes):
+        path = mee.ancestor_path(page)
+        assert protocol.nearest_persistent_root(path) in protocol._root_counts
+    assert len(protocol.persistent_roots()) <= CONFIG.bmf.root_set_entries
+
+
+@settings(max_examples=20, deadline=None)
+@given(writes=st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=200))
+def test_osiris_stop_loss_bound(writes):
+    """After any write sequence, each page's persisted counter trails
+    its current counter by at most stop_loss - 1 bumps."""
+    mee = _engine("osiris", functional=True)
+    current_bumps = {}
+    for page in writes:
+        mee.write_block(page * 4096)
+        current_bumps[page] = current_bumps.get(page, 0) + 1
+    stop_loss = CONFIG.osiris.stop_loss_interval
+    for page, bumps in current_bumps.items():
+        persisted = mee.tree.persisted_counter(page)
+        persisted_bumps = persisted.minors[0]
+        assert bumps - persisted_bumps <= stop_loss - 1
+        assert persisted_bumps <= bumps
+
+
+@settings(max_examples=10, deadline=None)
+@given(writes=st.lists(pages, min_size=1, max_size=150))
+def test_strict_leaves_nothing_dirty(writes):
+    mee = _engine("strict")
+    for page in writes:
+        mee.write_block(page * 4096)
+    assert list(mee.mdcache.dirty_tree_nodes()) == []
+    for line in mee.mdcache._cache.dirty_lines():
+        raise AssertionError(f"strict left {line.key!r} dirty")

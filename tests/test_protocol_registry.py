@@ -1,0 +1,51 @@
+"""Protocol registry and construction."""
+
+import pytest
+
+from repro.config import default_config
+from repro.core.protocol import (
+    make_protocol,
+    protocol_names,
+    protocol_uses_modified_os,
+)
+from repro.errors import ConfigError
+
+
+class TestRegistry:
+    def test_all_paper_protocols_registered(self):
+        names = protocol_names()
+        for expected in (
+            "volatile", "strict", "leaf", "osiris", "anubis", "bmf",
+            "amnt", "amnt++",
+        ):
+            assert expected in names
+
+    def test_make_protocol_by_name(self):
+        protocol = make_protocol("leaf", default_config())
+        assert protocol.name == "leaf"
+        assert protocol.display_name == "leaf"
+
+    def test_amnt_plus_plus_shares_hardware(self):
+        protocol = make_protocol("amnt++", default_config())
+        assert protocol.name == "amnt"  # same hardware class
+        assert protocol.display_name == "amnt++"
+
+    def test_modified_os_flags(self):
+        assert protocol_uses_modified_os("amnt++")
+        assert not protocol_uses_modified_os("amnt")
+        assert not protocol_uses_modified_os("leaf")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError, match="unknown protocol"):
+            make_protocol("nacht", default_config())
+        with pytest.raises(ConfigError):
+            protocol_uses_modified_os("nacht")
+
+    def test_crash_consistency_flags(self):
+        config = default_config()
+        assert not make_protocol("volatile", config).is_crash_consistent
+        for name in ("strict", "leaf", "osiris", "anubis", "bmf", "amnt"):
+            assert make_protocol(name, config).is_crash_consistent
+
+    def test_repr_names_protocol(self):
+        assert "amnt" in repr(make_protocol("amnt", default_config()))

@@ -1,0 +1,96 @@
+"""Cross-validation: functional recovery traffic vs the analytic model.
+
+Table 4 comes from an analytic bandwidth model. The functional recovery
+procedures actually walk trees, so at small scale we can *count* the
+work they do and check it against the model's structural assumptions:
+
+* a full rebuild recomputes exactly the tree's inner-node population
+  (the model's geometric-series term);
+* an AMNT subtree rebuild recomputes one region's worth of nodes plus
+  the upper path — ``1/regions`` of the full rebuild, the scaling that
+  produces Table 4's AMNT rows;
+* the read:write mix of a rebuild is arity:1 (8 children fetched per
+  node written), the paper's stated recovery traffic shape.
+"""
+
+import pytest
+
+from repro.config import default_config
+from repro.core.mee import MemoryEncryptionEngine
+from repro.core.protocol import make_protocol
+from repro.core.recovery import CrashInjector
+from repro.util.units import MB
+
+
+@pytest.fixture
+def config():
+    return default_config(capacity_bytes=64 * MB)
+
+
+def populated_engine(config, protocol_name):
+    mee = MemoryEncryptionEngine(
+        config, make_protocol(protocol_name, config), functional=True
+    )
+    interval = config.amnt.movement_interval_writes
+    for i in range(interval + 16):
+        mee.write_block((i % 8) * 4096, data=bytes([i % 199 + 1]) * 64)
+    return mee
+
+
+class TestFullRebuildPopulation:
+    def test_leaf_recovery_recomputes_every_inner_node(self, config):
+        mee = populated_engine(config, "leaf")
+        outcome = CrashInjector(mee).crash_and_recover()
+        assert outcome.ok
+        assert outcome.nodes_recomputed == mee.geometry.total_nodes()
+
+    def test_model_inner_node_byte_ratio_matches_population(self, config):
+        """The model says inner bytes = counter bytes / (arity - 1);
+        the real tree's population agrees to within the ceil-rounding
+        of partial levels."""
+        mee = populated_engine(config, "leaf")
+        geometry = mee.geometry
+        modeled = geometry.num_counter_blocks / (geometry.arity - 1)
+        assert geometry.total_nodes() == pytest.approx(modeled, rel=0.05)
+
+
+class TestSubtreeScaling:
+    def test_amnt_rebuild_is_one_region_share(self, config):
+        full = populated_engine(config, "leaf")
+        full_nodes = CrashInjector(full).crash_and_recover().nodes_recomputed
+
+        amnt = populated_engine(config, "amnt")
+        outcome = CrashInjector(amnt).crash_and_recover()
+        assert outcome.ok
+        regions = amnt.geometry.nodes_at_level(config.amnt.subtree_level)
+        share = full_nodes / regions
+        # One region's interior plus the short upper path.
+        upper_path = config.amnt.subtree_level - 1
+        assert outcome.nodes_recomputed == pytest.approx(
+            share + upper_path, rel=0.10
+        )
+
+    def test_amnt_l4_rebuilds_less_than_l3(self, config):
+        nodes = {}
+        for level in (3, 4):
+            level_config = config.with_amnt(subtree_level=level)
+            mee = populated_engine(level_config, "amnt")
+            nodes[level] = CrashInjector(mee).crash_and_recover().nodes_recomputed
+        assert nodes[4] < nodes[3]
+
+
+class TestTrafficShape:
+    def test_rebuild_reads_arity_children_per_written_node(self, config):
+        """Count actual line touches during a subtree rebuild: reads
+        (children fetched) to writes (nodes stored) is the model's
+        arity:1, within the slack of partial edge nodes."""
+        mee = populated_engine(config, "leaf")
+        mee.crash()
+        tree = mee.tree
+        subtree = (2, 0)
+        first, last = tree.geometry.counter_range_of(subtree)
+        reads = last - first  # counter leaves fetched
+        _, written = tree.subtree_value_from_persisted(subtree)
+        inner_reads = written - 1  # every non-root inner node re-read
+        ratio = (reads + inner_reads) / written
+        assert ratio == pytest.approx(tree.geometry.arity, rel=0.15)

@@ -1,0 +1,60 @@
+"""Non-volatile on-chip registers."""
+
+import pytest
+
+from repro.persist.root_register import NonVolatileRegister, RegisterFile
+
+
+class TestRegister:
+    def test_write_read(self):
+        register = NonVolatileRegister("root", 64)
+        register.write(b"\x01" * 8, tag=(3, 5))
+        assert register.read() == b"\x01" * 8
+        assert register.tag == (3, 5)
+
+    def test_write_without_tag_keeps_tag(self):
+        register = NonVolatileRegister("root", 64)
+        register.write(b"a", tag=(1, 0))
+        register.write(b"b")
+        assert register.tag == (1, 0)
+
+    def test_oversized_write_rejected(self):
+        register = NonVolatileRegister("tiny", 4)
+        with pytest.raises(ValueError):
+            register.write(b"\x00" * 5)
+
+
+class TestRegisterFile:
+    def test_allocate_and_get(self):
+        registers = RegisterFile()
+        registers.allocate("bmt_root", 64)
+        assert registers.get("bmt_root").size_bytes == 64
+
+    def test_double_allocation_rejected(self):
+        registers = RegisterFile()
+        registers.allocate("r", 8)
+        with pytest.raises(ValueError):
+            registers.allocate("r", 8)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterFile().allocate("r", 0)
+
+    def test_total_bytes_sums_allocation(self):
+        registers = RegisterFile()
+        registers.allocate("a", 64)
+        registers.allocate("b", 8)
+        assert registers.total_bytes() == 72
+
+    def test_crash_preserves_values(self):
+        registers = RegisterFile()
+        register = registers.allocate("root", 64)
+        register.write(b"persist-me")
+        registers.crash()
+        assert register.read() == b"persist-me"
+
+    def test_names_sorted(self):
+        registers = RegisterFile()
+        registers.allocate("b", 1)
+        registers.allocate("a", 1)
+        assert registers.names() == ["a", "b"]

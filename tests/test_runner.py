@@ -1,0 +1,88 @@
+"""Protocol sweeps and summary helpers."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.config import DataCacheConfig, default_config
+from repro.sim.runner import (
+    FIGURE_PROTOCOLS,
+    geometric_mean,
+    run_protocol_sweep,
+    sweep_normalized,
+)
+from repro.util.units import MB
+from repro.workloads.synthetic import WorkloadProfile, generate_trace
+
+
+@pytest.fixture
+def config():
+    # A small LLC so short unit traces actually generate memory
+    # writebacks (the traffic the persistence protocols differ on).
+    base = default_config(capacity_bytes=64 * MB)
+    return replace(
+        base,
+        llc=DataCacheConfig(capacity_bytes=64 * 1024, associativity=16),
+    )
+
+
+@pytest.fixture
+def trace():
+    profile = WorkloadProfile(
+        name="sweep-unit",
+        footprint_bytes=2 * MB,
+        num_accesses=3000,
+        write_fraction=0.4,
+        think_cycles=5,
+    )
+    return generate_trace(profile, seed=3)
+
+
+class TestSweep:
+    def test_runs_each_protocol_once(self, config, trace):
+        results = run_protocol_sweep(
+            trace, config, ("volatile", "leaf"), seed=1
+        )
+        assert set(results) == {"volatile", "leaf"}
+        assert results["leaf"].protocol == "leaf"
+
+    def test_default_lineup_matches_figures(self):
+        assert FIGURE_PROTOCOLS == (
+            "volatile", "leaf", "strict", "anubis", "bmf", "amnt",
+        )
+
+    def test_normalized_includes_baseline_implicitly(self, config, trace):
+        normalized = sweep_normalized(
+            trace, config, protocols=("leaf", "strict"), seed=1
+        )
+        assert normalized["volatile"] == 1.0
+        assert normalized["strict"] > normalized["leaf"]
+
+    def test_protocol_ordering_story(self, config, trace):
+        """The paper's headline ordering on a write-heavy workload:
+        leaf <= amnt << strict, with anubis and bmf in between."""
+        normalized = sweep_normalized(
+            trace,
+            config,
+            protocols=("leaf", "strict", "anubis", "bmf", "amnt"),
+            seed=1,
+        )
+        assert normalized["amnt"] <= normalized["bmf"]
+        assert normalized["amnt"] < normalized["strict"]
+        assert normalized["leaf"] < normalized["strict"]
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geometric_mean([3.0]) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

@@ -1,0 +1,131 @@
+"""Triad-NVM and Persist-Level Parallelism comparators."""
+
+import pytest
+
+from repro.config import TriadConfig, default_config
+from repro.core.mee import MemoryEncryptionEngine
+from repro.core.protocol import make_protocol
+from repro.core.recovery import CrashInjector
+from repro.errors import ConfigError
+from repro.mem.backend import MetadataRegion
+from repro.util.units import MB
+
+
+@pytest.fixture
+def config():
+    return default_config(capacity_bytes=64 * MB)
+
+
+def engine_for(config, name, functional=False):
+    return MemoryEncryptionEngine(
+        config, make_protocol(name, config), functional=functional
+    )
+
+
+class TestTriadWritePath:
+    def test_persists_only_deepest_levels(self, config):
+        mee = engine_for(config, "triad")
+        mee.write_block(0)
+        # counters + hmac + persist_levels node levels, nothing above.
+        assert mee.nvm.persists(MetadataRegion.COUNTERS) == 1
+        assert mee.nvm.persists(MetadataRegion.HMACS) == 1
+        assert (
+            mee.nvm.persists(MetadataRegion.TREE)
+            == config.triad.persist_levels
+        )
+
+    def test_upper_levels_stay_dirty(self, config):
+        mee = engine_for(config, "triad")
+        mee.write_block(0)
+        boundary = mee.protocol.strict_above_level
+        dirty_levels = {level for level, _ in mee.mdcache.dirty_tree_nodes()}
+        assert dirty_levels == set(range(1, boundary))
+
+    def test_cost_between_leaf_and_strict(self, config):
+        leaf = engine_for(config, "leaf").write_block(0)
+        triad = engine_for(config, "triad").write_block(0)
+        strict = engine_for(config, "strict").write_block(0)
+        assert leaf < triad < strict
+
+    def test_static_for_all_addresses(self, config):
+        """The paper's critique: every address pays the same cost.
+
+        Fresh engine per address so cache state is identical; the
+        first-touch write cost must not depend on where the data lives
+        (contrast AMNT, whose in/out-of-subtree costs differ)."""
+        costs = {
+            engine_for(config, "triad").write_block(page * 4096)
+            for page in (0, 500, 900)
+        }
+        assert len(costs) == 1
+
+    def test_persist_levels_validated(self):
+        with pytest.raises(ConfigError):
+            TriadConfig(persist_levels=-1)
+
+
+class TestTriadRecovery:
+    def test_crash_recover_verifies(self, config):
+        mee = engine_for(config, "triad", functional=True)
+        for i in range(40):
+            mee.write_block((i % 9) * 4096, data=bytes([i + 1]) * 64)
+        outcome = CrashInjector(mee).crash_and_recover()
+        assert outcome.ok, outcome.detail
+        assert mee.read_block_data(0) is not None
+
+    def test_rebuild_covers_exactly_upper_levels(self, config):
+        mee = engine_for(config, "triad", functional=True)
+        mee.write_block(0, data=b"\x01" * 64)
+        outcome = CrashInjector(mee).crash_and_recover()
+        geometry = mee.geometry
+        boundary = mee.protocol.strict_above_level
+        expected = sum(
+            geometry.nodes_at_level(level) for level in range(1, boundary)
+        )
+        assert outcome.nodes_recomputed == expected
+
+    def test_recovery_model_between_leaf_and_strict(self, config):
+        from repro.mem.bandwidth import RecoveryBandwidthModel
+        from repro.util.units import TB
+
+        model = RecoveryBandwidthModel(config.pcm)
+        triad = make_protocol("triad", config)
+        leaf = make_protocol("leaf", config)
+        strict = make_protocol("strict", config)
+        assert (
+            strict.recovery_ms(model, 2 * TB)
+            < triad.recovery_ms(model, 2 * TB)
+            < leaf.recovery_ms(model, 2 * TB)
+        )
+
+
+class TestPLP:
+    def test_same_persist_traffic_as_strict(self, config):
+        plp = engine_for(config, "plp")
+        strict = engine_for(config, "strict")
+        plp.write_block(0)
+        strict.write_block(0)
+        assert plp.nvm.persists() == strict.nvm.persists()
+
+    def test_cheaper_critical_path_than_strict(self, config):
+        plp = engine_for(config, "plp").write_block(0)
+        strict = engine_for(config, "strict").write_block(0)
+        assert plp < strict
+
+    def test_still_dearer_than_leaf(self, config):
+        plp = engine_for(config, "plp").write_block(0)
+        leaf = engine_for(config, "leaf").write_block(0)
+        assert plp > leaf
+
+    def test_instant_recovery(self, config):
+        mee = engine_for(config, "plp", functional=True)
+        mee.write_block(0, data=b"\x05" * 64)
+        outcome = CrashInjector(mee).crash_and_recover()
+        assert outcome.ok
+        assert outcome.nodes_recomputed == 0
+        assert mee.read_block_data(0) == b"\x05" * 64
+
+    def test_nothing_left_dirty(self, config):
+        mee = engine_for(config, "plp")
+        mee.write_block(0)
+        assert list(mee.mdcache.dirty_tree_nodes()) == []

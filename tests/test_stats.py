@@ -1,0 +1,77 @@
+"""Statistics registry semantics."""
+
+import pytest
+
+from repro.util.stats import StatCounter, StatRegistry
+
+
+class TestStatCounter:
+    def test_starts_at_zero(self):
+        assert StatCounter("x").value == 0
+
+    def test_add(self):
+        counter = StatCounter("x")
+        counter.add()
+        counter.add(5)
+        assert counter.value == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            StatCounter("x").add(-1)
+
+    def test_reset(self):
+        counter = StatCounter("x", value=9)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestStatRegistry:
+    def test_prefix_applied(self):
+        registry = StatRegistry("nvm")
+        registry.add("reads", 3)
+        assert registry.get("reads") == 3
+        assert dict(registry.items()) == {"nvm.reads": 3}
+
+    def test_get_untouched_is_zero(self):
+        assert StatRegistry().get("nothing") == 0
+
+    def test_counter_identity_is_stable(self):
+        registry = StatRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_snapshot_and_diff(self):
+        registry = StatRegistry()
+        registry.add("a", 2)
+        snap = registry.snapshot()
+        registry.add("a", 3)
+        registry.add("b", 1)
+        delta = registry.diff(snap)
+        assert delta == {"a": 3, "b": 1}
+
+    def test_snapshot_is_a_copy(self):
+        registry = StatRegistry()
+        registry.add("a")
+        snap = registry.snapshot()
+        registry.add("a")
+        assert snap["a"] == 1
+
+    def test_reset_zeroes_everything(self):
+        registry = StatRegistry()
+        registry.add("a", 7)
+        registry.reset()
+        assert registry.get("a") == 0
+
+    def test_merge_from(self):
+        left, right = StatRegistry(), StatRegistry()
+        left.add("a", 1)
+        right.add("a", 2)
+        right.add("b", 5)
+        left.merge_from(right)
+        assert left.get("a") == 3
+        assert left.get("b") == 5
+
+    def test_len_counts_counters(self):
+        registry = StatRegistry()
+        registry.add("a")
+        registry.add("b")
+        assert len(registry) == 2

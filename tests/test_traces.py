@@ -1,0 +1,182 @@
+"""Trace generation, statistics, persistence, and interleaving."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.units import MB
+from repro.workloads.multiprogram import interleave, multiprogram_trace, pair_label
+from repro.workloads.synthetic import WorkloadProfile, generate_trace
+from repro.workloads.trace import MemoryAccess, Trace
+
+
+def profile(**overrides):
+    base = dict(
+        name="unit",
+        footprint_bytes=1 * MB,
+        num_accesses=5000,
+        write_fraction=0.3,
+        hot_fraction=0.1,
+        hot_access_fraction=0.8,
+        sequential_fraction=0.5,
+        think_cycles=10,
+    )
+    base.update(overrides)
+    return WorkloadProfile(**base)
+
+
+class TestProfileValidation:
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            profile(write_fraction=1.5)
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            profile(stream_window_fraction=0.0)
+
+    def test_footprint_minimum(self):
+        with pytest.raises(ValueError):
+            profile(footprint_bytes=32)
+
+    def test_accesses_positive(self):
+        with pytest.raises(ValueError):
+            profile(num_accesses=0)
+
+    def test_scaled_changes_length_only(self):
+        base = profile()
+        scaled = base.scaled(accesses=99)
+        assert scaled.num_accesses == 99
+        assert scaled.footprint_bytes == base.footprint_bytes
+
+    def test_scaled_arbitrary_field(self):
+        assert profile().scaled(base_vaddr=0x42).base_vaddr == 0x42
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self):
+        a = generate_trace(profile(), seed=7)
+        b = generate_trace(profile(), seed=7)
+        assert a.accesses == b.accesses
+
+    def test_seeds_differ(self):
+        a = generate_trace(profile(), seed=7)
+        b = generate_trace(profile(), seed=8)
+        assert a.accesses != b.accesses
+
+    def test_length_matches_profile(self):
+        assert len(generate_trace(profile())) == 5000
+
+    def test_write_fraction_approximates_parameter(self):
+        trace = generate_trace(profile(num_accesses=20000), seed=1)
+        assert trace.write_fraction() == pytest.approx(0.3, abs=0.02)
+
+    def test_addresses_stay_in_footprint(self):
+        prof = profile()
+        trace = generate_trace(prof, seed=1)
+        for access in trace.accesses[:500]:
+            assert (
+                prof.base_vaddr
+                <= access.vaddr
+                < prof.base_vaddr + prof.footprint_bytes
+            )
+
+    def test_pid_tagging(self):
+        trace = generate_trace(profile(), seed=1, pid=4)
+        assert trace.pids() == [4]
+
+    def test_hot_concentration(self):
+        """With 0 sequential share, hot_access_fraction of accesses land
+        in hot_fraction of the footprint."""
+        prof = profile(
+            sequential_fraction=0.0,
+            hot_fraction=0.1,
+            hot_access_fraction=0.9,
+            num_accesses=20000,
+        )
+        trace = generate_trace(prof, seed=1)
+        pages = {}
+        for access in trace:
+            page = access.vaddr // 4096
+            pages[page] = pages.get(page, 0) + 1
+        shares = sorted(pages.values(), reverse=True)
+        hot_pages = int(len(pages) * 0.15) or 1
+        top_share = sum(shares[:hot_pages]) / len(trace)
+        assert top_share > 0.7
+
+    def test_think_cycles_propagated(self):
+        trace = generate_trace(profile(think_cycles=42), seed=1)
+        assert all(access.think_cycles == 42 for access in trace.accesses[:50])
+
+
+class TestTraceContainer:
+    def test_footprint_pages(self):
+        trace = Trace("t", [MemoryAccess(0, False, 0, 1),
+                            MemoryAccess(64, False, 0, 1),
+                            MemoryAccess(4096, True, 0, 1),
+                            MemoryAccess(0, False, 1, 1)])
+        assert trace.footprint_pages() == 3  # (0,0), (0,1), (1,0)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = generate_trace(profile(num_accesses=100), seed=1)
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == trace.name
+        assert loaded.accesses == trace.accesses
+
+    def test_repr_mentions_name_and_length(self):
+        trace = Trace("demo", [])
+        assert "demo" in repr(trace)
+
+
+class TestInterleave:
+    def test_preserves_all_accesses(self):
+        a = generate_trace(profile(num_accesses=500), seed=1, pid=0)
+        b = generate_trace(profile(num_accesses=300), seed=2, pid=1)
+        merged = interleave([a, b])
+        assert len(merged) == 800
+        assert merged.pids() == [0, 1]
+
+    def test_per_program_order_preserved(self):
+        a = generate_trace(profile(num_accesses=200), seed=1, pid=0)
+        b = generate_trace(profile(num_accesses=200), seed=2, pid=1)
+        merged = interleave([a, b])
+        assert [x for x in merged if x.pid == 0] == a.accesses
+        assert [x for x in merged if x.pid == 1] == b.accesses
+
+    def test_think_weighting_balances_time(self):
+        """A slow (high think) program issues fewer early accesses."""
+        fast = generate_trace(profile(num_accesses=300, think_cycles=1), 1, pid=0)
+        slow = generate_trace(profile(num_accesses=300, think_cycles=30), 2, pid=1)
+        merged = interleave([fast, slow])
+        first_hundred = merged.accesses[:100]
+        fast_share = sum(1 for x in first_hundred if x.pid == 0)
+        assert fast_share > 80
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            interleave([])
+
+    def test_multiprogram_trace_disjoint_vaddrs(self):
+        merged = multiprogram_trace(
+            [profile(), profile()], seed=1, accesses_each=100
+        )
+        by_pid = {}
+        for access in merged:
+            by_pid.setdefault(access.pid, set()).add(access.vaddr)
+        assert not (by_pid[0] & by_pid[1])
+
+    def test_pair_label_matches_paper_style(self):
+        assert pair_label(("bodytrack", "fluidanimate")) == "bodyt and fluida"
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_generation_total_and_bounds_property(seed):
+    prof = profile(num_accesses=300)
+    trace = generate_trace(prof, seed=seed)
+    assert len(trace) == 300
+    assert all(
+        prof.base_vaddr <= a.vaddr < prof.base_vaddr + prof.footprint_bytes
+        for a in trace
+    )

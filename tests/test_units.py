@@ -1,0 +1,65 @@
+"""Unit helpers: sizes and time conversion."""
+
+import pytest
+
+from repro.util.units import (
+    GB,
+    KB,
+    MB,
+    TB,
+    cycles_from_ns,
+    format_bytes,
+    ns_from_cycles,
+)
+
+
+class TestSizeConstants:
+    def test_binary_prefixes(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+        assert TB == 1024 * GB
+
+
+class TestCyclesFromNs:
+    def test_paper_read_latency_at_2ghz(self):
+        # 305 ns at 2 GHz is 610 cycles (Table 1's PCM read).
+        assert cycles_from_ns(305.0, clock_ghz=2.0) == 610
+
+    def test_paper_write_latency_at_2ghz(self):
+        assert cycles_from_ns(391.0, clock_ghz=2.0) == 782
+
+    def test_rounds_up_partial_cycles(self):
+        assert cycles_from_ns(0.4, clock_ghz=2.0) == 1
+
+    def test_zero_is_zero(self):
+        assert cycles_from_ns(0.0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            cycles_from_ns(-1.0)
+
+    def test_roundtrip_with_ns_from_cycles(self):
+        assert ns_from_cycles(cycles_from_ns(100.0, 2.0), 2.0) == 100.0
+
+    def test_ns_from_cycles_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ns_from_cycles(-5)
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(96) == "96B"
+
+    def test_kilobytes(self):
+        assert format_bytes(64 * KB) == "64.0KB"
+
+    def test_megabytes(self):
+        assert format_bytes(128 * MB) == "128.0MB"
+
+    def test_terabytes(self):
+        assert format_bytes(2 * TB) == "2.0TB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)

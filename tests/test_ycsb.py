@@ -1,0 +1,113 @@
+"""YCSB workload mixes."""
+
+import pytest
+
+from repro.workloads.ycsb import (
+    YCSB_WORKLOADS,
+    YCSBWorkload,
+    generate_ycsb_trace,
+    ycsb_names,
+    ycsb_workload,
+)
+
+
+class TestRegistry:
+    def test_canonical_mixes_present(self):
+        assert ycsb_names() == ["A", "B", "C", "D", "F"]
+
+    def test_lookup_case_insensitive(self):
+        assert ycsb_workload("a").name == "A"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown YCSB"):
+            ycsb_workload("E")
+
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sums to"):
+            YCSBWorkload("bad", read_fraction=0.5, update_fraction=0.1)
+
+    def test_distribution_validated(self):
+        with pytest.raises(ValueError, match="distribution"):
+            YCSBWorkload(
+                "bad", read_fraction=1.0, update_fraction=0.0,
+                distribution="uniformish",
+            )
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_ycsb_trace(ycsb_workload("A"), operations=500, seed=1)
+        b = generate_ycsb_trace(ycsb_workload("A"), operations=500, seed=1)
+        assert a.accesses == b.accesses
+
+    def test_c_is_read_only(self):
+        trace = generate_ycsb_trace(ycsb_workload("C"), operations=1000, seed=1)
+        assert trace.write_fraction() == 0.0
+
+    def test_a_is_half_updates_all_flushed(self):
+        trace = generate_ycsb_trace(ycsb_workload("A"), operations=4000, seed=1)
+        assert trace.write_fraction() == pytest.approx(0.5, abs=0.03)
+        for access in trace:
+            if access.is_write:
+                assert access.flush
+
+    def test_f_rmw_pairs_read_then_write(self):
+        trace = generate_ycsb_trace(ycsb_workload("F"), operations=1000, seed=1)
+        accesses = trace.accesses
+        for i, access in enumerate(accesses):
+            if access.is_write:
+                assert accesses[i - 1].vaddr == access.vaddr
+                assert not accesses[i - 1].is_write
+
+    def test_zipf_skew_concentrates_requests(self):
+        trace = generate_ycsb_trace(ycsb_workload("B"), operations=8000, seed=1)
+        counts = {}
+        for access in trace:
+            counts[access.vaddr] = counts.get(access.vaddr, 0) + 1
+        top = sorted(counts.values(), reverse=True)
+        hot_share = sum(top[: max(1, len(top) // 100)]) / len(trace)
+        assert hot_share > 0.2  # top 1% of keys absorb >20% of requests
+
+    def test_d_inserts_grow_live_keyspace_and_reads_chase_them(self):
+        workload = ycsb_workload("D")
+        trace = generate_ycsb_trace(workload, operations=6000, seed=1)
+        max_addr = max(access.vaddr for access in trace)
+        initial_frontier = (
+            workload.base_vaddr + (workload.record_count // 2) * 64
+        )
+        assert max_addr >= initial_frontier  # frontier advanced
+
+    def test_addresses_stay_in_footprint(self):
+        workload = ycsb_workload("A")
+        trace = generate_ycsb_trace(workload, operations=2000, seed=3)
+        for access in trace:
+            assert (
+                workload.base_vaddr
+                <= access.vaddr
+                < workload.base_vaddr + workload.footprint_bytes
+            )
+
+
+class TestEndToEnd:
+    def test_update_heavy_mix_separates_protocols(self):
+        from dataclasses import replace
+
+        from repro.config import DataCacheConfig, default_config
+        from repro.sim.engine import simulate
+        from repro.sim.machine import build_machine
+        from repro.util.units import KB, MB
+
+        config = replace(
+            default_config(capacity_bytes=64 * MB),
+            llc=DataCacheConfig(capacity_bytes=64 * KB, associativity=16),
+        )
+        trace = generate_ycsb_trace(ycsb_workload("A"), operations=2000, seed=2)
+        cycles = {}
+        for name in ("volatile", "leaf", "strict", "amnt"):
+            machine = build_machine(config, name, seed=2)
+            cycles[name] = simulate(machine, trace, seed=2).cycles
+        assert cycles["strict"] > cycles["leaf"] * 1.2
+        # Short trace: the first selection interval (64 strict writes)
+        # and the zipf tail keep AMNT a little above leaf here.
+        assert cycles["amnt"] <= cycles["leaf"] * 1.25
+        assert cycles["amnt"] < cycles["strict"] * 0.5
