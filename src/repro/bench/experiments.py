@@ -14,13 +14,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.config import SystemConfig, default_config
 from repro.core.area import AreaOverhead, protocol_area_table
 from repro.core.recovery import RecoveryAnalysis
-from repro.sim.engine import simulate
 from repro.sim.machine import build_machine
+from repro.sim.parallel import ParallelSweepRunner, SweepCell
 from repro.sim.results import SimulationResult, normalized_cycles
-from repro.sim.runner import FIGURE_PROTOCOLS, run_protocol_sweep
+from repro.sim.runner import FIGURE_PROTOCOLS
 from repro.util.rng import Seed
 from repro.workloads.multiprogram import multiprogram_trace, pair_label
 from repro.workloads.parsec import MULTIPROGRAM_PAIRS, parsec_names, parsec_profile
+from repro.workloads.registry import multiprogram_spec, profile_spec
 from repro.workloads.spec import spec_names, spec_profile
 from repro.workloads.synthetic import generate_trace
 
@@ -113,17 +114,50 @@ def fig4_single_program(
     accesses: int = 60_000,
     seed: Seed = 2024,
     config: Optional[SystemConfig] = None,
+    workers: int = 1,
 ) -> Dict[str, Dict[str, float]]:
-    """Normalized cycles per PARSEC benchmark per protocol."""
+    """Normalized cycles per PARSEC benchmark per protocol.
+
+    ``workers > 1`` fans every (benchmark, protocol) cell out over a
+    process pool at once — not one benchmark at a time — so the grid
+    saturates the pool even when benchmarks differ wildly in cost.
+    """
     config = config or default_config()
     benchmarks = list(benchmarks) if benchmarks else parsec_names()
-    figure: Dict[str, Dict[str, float]] = {}
-    for name in benchmarks:
-        trace = generate_trace(
-            parsec_profile(name).scaled(accesses=accesses), seed=seed
+    specs = {
+        name: profile_spec("parsec", name, accesses, seed)
+        for name in benchmarks
+    }
+    return _grid_normalized(specs, config, protocols, seed, workers)
+
+
+def _grid_normalized(
+    specs: Dict[str, "object"],
+    config: SystemConfig,
+    protocols: Sequence[str],
+    seed: Seed,
+    workers: int,
+    scatter_span_chunks: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Run a full workload × protocol grid and normalize per workload."""
+    protocols = tuple(protocols)
+    cells = [
+        SweepCell(
+            protocol=protocol,
+            trace=spec,
+            seed=seed,
+            scatter_span_chunks=scatter_span_chunks,
         )
-        results = run_protocol_sweep(trace, config, protocols, seed=seed)
-        figure[name] = normalized_cycles(results)
+        for spec in specs.values()
+        for protocol in protocols
+    ]
+    results = ParallelSweepRunner(workers=workers).run(cells, config)
+    figure: Dict[str, Dict[str, float]] = {}
+    for row, label in enumerate(specs):
+        row_results = dict(
+            zip(protocols, results[row * len(protocols):(row + 1) * len(protocols)])
+        )
+        figure[label] = normalized_cycles(row_results)
     return figure
 
 
@@ -137,25 +171,22 @@ def fig5_multiprogram(
     accesses_each: int = 40_000,
     seed: Seed = 2024,
     config: Optional[SystemConfig] = None,
+    workers: int = 1,
 ) -> Dict[str, Dict[str, float]]:
     """Normalized cycles for the paper's co-running pairs."""
     config = config or default_config()
-    figure: Dict[str, Dict[str, float]] = {}
-    for pair in pairs:
-        trace = multiprogram_trace(
-            [parsec_profile(pair[0]), parsec_profile(pair[1])],
-            seed=seed,
-            accesses_each=accesses_each,
-        )
-        results = run_protocol_sweep(
-            trace,
-            config,
-            protocols,
-            seed=seed,
-            scatter_span_chunks=MULTIPROGRAM_SCATTER_CHUNKS,
-        )
-        figure[pair_label(pair)] = normalized_cycles(results)
-    return figure
+    specs = {
+        pair_label(pair): multiprogram_spec("parsec", pair, accesses_each, seed)
+        for pair in pairs
+    }
+    return _grid_normalized(
+        specs,
+        config,
+        protocols,
+        seed,
+        workers,
+        scatter_span_chunks=MULTIPROGRAM_SCATTER_CHUNKS,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -168,21 +199,39 @@ def fig6_fig7_level_sweep(
     accesses_each: int = 40_000,
     seed: Seed = 2024,
     config: Optional[SystemConfig] = None,
+    workers: int = 1,
 ) -> Dict[str, Dict[str, Dict[int, float]]]:
     """AMNT vs AMNT++ across subtree root levels.
 
     Returns ``{pair: {"amnt_cycles": {level: norm}, "amnt++_cycles": ...,
     "amnt_hitrate": {level: rate}, "amnt++_hitrate": ...}}`` — Figure 6
     is the *_cycles series, Figure 7 the *_hitrate series.
+
+    Every (pair, level, protocol) run is one sweep cell with its own
+    level-specific config override, so the whole sensitivity grid fans
+    out at once when ``workers > 1``.
     """
     base_config = config or default_config()
+    level_protocols = ("volatile", "amnt", "amnt++")
+    cells = []
+    for pair in pairs:
+        spec = multiprogram_spec("parsec", pair, accesses_each, seed)
+        for level in levels:
+            level_config = base_config.with_amnt(subtree_level=level)
+            for protocol in level_protocols:
+                cells.append(
+                    SweepCell(
+                        protocol=protocol,
+                        trace=spec,
+                        seed=seed,
+                        scatter_span_chunks=MULTIPROGRAM_SCATTER_CHUNKS,
+                        config=level_config,
+                    )
+                )
+    results = iter(ParallelSweepRunner(workers=workers).run(cells, base_config))
+
     sweep: Dict[str, Dict[str, Dict[int, float]]] = {}
     for pair in pairs:
-        trace = multiprogram_trace(
-            [parsec_profile(pair[0]), parsec_profile(pair[1])],
-            seed=seed,
-            accesses_each=accesses_each,
-        )
         label = pair_label(pair)
         sweep[label] = {
             "amnt_cycles": {},
@@ -191,22 +240,9 @@ def fig6_fig7_level_sweep(
             "amnt++_hitrate": {},
         }
         for level in levels:
-            level_config = base_config.with_amnt(subtree_level=level)
-            baseline_machine = build_machine(
-                level_config,
-                "volatile",
-                seed=seed,
-                scatter_span_chunks=MULTIPROGRAM_SCATTER_CHUNKS,
-            )
-            baseline = simulate(baseline_machine, trace, seed=seed)
+            baseline = next(results)
             for protocol in ("amnt", "amnt++"):
-                machine = build_machine(
-                    level_config,
-                    protocol,
-                    seed=seed,
-                    scatter_span_chunks=MULTIPROGRAM_SCATTER_CHUNKS,
-                )
-                result = simulate(machine, trace, seed=seed)
+                result = next(results)
                 sweep[label][f"{protocol}_cycles"][level] = (
                     result.cycles / baseline.cycles
                 )
@@ -227,18 +263,16 @@ def fig8_spec(
     accesses: int = 60_000,
     seed: Seed = 2024,
     config: Optional[SystemConfig] = None,
+    workers: int = 1,
 ) -> Dict[str, Dict[str, float]]:
     """Normalized cycles per SPEC benchmark per protocol."""
     config = config or default_config()
     benchmarks = list(benchmarks) if benchmarks else spec_names()
-    figure: Dict[str, Dict[str, float]] = {}
-    for name in benchmarks:
-        trace = generate_trace(
-            spec_profile(name).scaled(accesses=accesses), seed=seed
-        )
-        results = run_protocol_sweep(trace, config, protocols, seed=seed)
-        figure[name] = normalized_cycles(results)
-    return figure
+    specs = {
+        name: profile_spec("spec", name, accesses, seed)
+        for name in benchmarks
+    }
+    return _grid_normalized(specs, config, protocols, seed, workers)
 
 
 # ---------------------------------------------------------------------------
@@ -250,6 +284,7 @@ def table2_os_cost(
     accesses_each: int = 40_000,
     seed: Seed = 2024,
     config: Optional[SystemConfig] = None,
+    workers: int = 1,
 ) -> List[Dict[str, object]]:
     """Modified-OS impact: cycles ratio and instruction-count ratio.
 
@@ -257,22 +292,23 @@ def table2_os_cost(
     the AMNT++-modified OS; columns match the paper's Table 2.
     """
     config = config or default_config()
-    rows: List[Dict[str, object]] = []
-    for pair in pairs:
-        trace = multiprogram_trace(
-            [parsec_profile(pair[0]), parsec_profile(pair[1])],
+    protocols = ("amnt", "amnt++")
+    cells = [
+        SweepCell(
+            protocol=protocol,
+            trace=multiprogram_spec("parsec", pair, accesses_each, seed),
             seed=seed,
-            accesses_each=accesses_each,
+            scatter_span_chunks=MULTIPROGRAM_SCATTER_CHUNKS,
         )
-        runs: Dict[str, SimulationResult] = {}
-        for protocol in ("amnt", "amnt++"):
-            machine = build_machine(
-                config,
-                protocol,
-                seed=seed,
-                scatter_span_chunks=MULTIPROGRAM_SCATTER_CHUNKS,
-            )
-            runs[protocol] = simulate(machine, trace, seed=seed)
+        for pair in pairs
+        for protocol in protocols
+    ]
+    results = ParallelSweepRunner(workers=workers).run(cells, config)
+    rows: List[Dict[str, object]] = []
+    for row, pair in enumerate(pairs):
+        runs: Dict[str, SimulationResult] = dict(
+            zip(protocols, results[row * len(protocols):(row + 1) * len(protocols)])
+        )
         rows.append(
             {
                 "workload": pair_label(pair),

@@ -1,0 +1,196 @@
+"""Performance benchmark: the reference sweep and its trajectory.
+
+``repro perf`` times one fixed, deterministic sweep grid three ways —
+serial without the trace cache (every cell regenerates its trace, the
+pre-optimization behaviour), serial with the shared cache, and parallel
+over the process pool — and writes the measurements to
+``BENCH_sweep.json``. Committing that file after perf-relevant PRs
+gives the repository a wall-clock trajectory the same way the figure
+harnesses give it a numbers trajectory.
+
+The grid is real work (three PARSEC profiles spanning cache-friendly to
+pointer-chasing, times the full Figure-4 protocol lineup), so the
+timings move when — and only when — the simulator's hot paths move.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import SystemConfig, default_config
+from repro.sim.parallel import (
+    ParallelSweepRunner,
+    SweepCell,
+    default_workers,
+    run_cell,
+)
+from repro.sim.runner import FIGURE_PROTOCOLS
+from repro.util.rng import Seed
+from repro.workloads.registry import (
+    materialize_trace,
+    profile_spec,
+    trace_cache_clear,
+)
+
+#: Cache-resident, balanced, and pointer-chasing — three distinct
+#: hot-path mixes so the reference number is not hostage to one regime.
+REFERENCE_BENCHMARKS = ("blackscholes", "bodytrack", "canneal")
+REFERENCE_ACCESSES = 20_000
+REFERENCE_SEED = 2024
+
+
+def reference_cells(
+    benchmarks: Sequence[str] = REFERENCE_BENCHMARKS,
+    protocols: Sequence[str] = FIGURE_PROTOCOLS,
+    accesses: int = REFERENCE_ACCESSES,
+    seed: Seed = REFERENCE_SEED,
+) -> List[SweepCell]:
+    """The reference grid: every (benchmark, protocol) cell."""
+    return [
+        SweepCell(
+            protocol=protocol,
+            trace=profile_spec("parsec", name, accesses, seed),
+            seed=seed,
+        )
+        for name in benchmarks
+        for protocol in protocols
+    ]
+
+
+def _time_serial_uncached(
+    cells: Sequence[SweepCell], config: SystemConfig
+) -> float:
+    """Serial run that regenerates the trace for every cell — the
+    pre-trace-cache behaviour, kept measurable so BENCH_sweep.json
+    records what the cache is worth."""
+    start = time.perf_counter()
+    for cell in cells:
+        trace_cache_clear()
+        run_cell(cell, config)
+    elapsed = time.perf_counter() - start
+    trace_cache_clear()
+    return elapsed
+
+
+def _time_serial(cells: Sequence[SweepCell], config: SystemConfig) -> float:
+    trace_cache_clear()
+    start = time.perf_counter()
+    for cell in cells:
+        run_cell(cell, config)
+    elapsed = time.perf_counter() - start
+    return elapsed
+
+
+def _time_parallel(
+    cells: Sequence[SweepCell], config: SystemConfig, workers: int
+) -> float:
+    runner = ParallelSweepRunner(workers=workers)
+    start = time.perf_counter()
+    runner.run(cells, config)
+    return time.perf_counter() - start
+
+
+def run_reference_bench(
+    workers: Optional[int] = None,
+    benchmarks: Sequence[str] = REFERENCE_BENCHMARKS,
+    protocols: Sequence[str] = FIGURE_PROTOCOLS,
+    accesses: int = REFERENCE_ACCESSES,
+    seed: Seed = REFERENCE_SEED,
+    output: Optional[Path] = Path("BENCH_sweep.json"),
+    include_uncached: bool = True,
+) -> Dict[str, object]:
+    """Time the reference sweep; optionally write ``BENCH_sweep.json``.
+
+    Returns the report dict. ``workers=None`` auto-sizes to the visible
+    core count. ``include_uncached=False`` skips the slowest leg (CI
+    smoke runs on tiny grids don't need it).
+    """
+    config = default_config()
+    workers = default_workers() if workers is None else max(1, workers)
+    cells = reference_cells(benchmarks, protocols, accesses, seed)
+
+    # Warm what should be warm: interpreter, imports, one materialized
+    # trace — so the three legs differ only in the strategy under test.
+    materialize_trace(cells[0].trace)
+
+    serial_uncached = (
+        _time_serial_uncached(cells, config) if include_uncached else None
+    )
+    serial_seconds = _time_serial(cells, config)
+    parallel_seconds = _time_parallel(cells, config, workers)
+
+    report: Dict[str, object] = {
+        "grid": {
+            "benchmarks": list(benchmarks),
+            "protocols": list(protocols),
+            "accesses_per_trace": accesses,
+            "seed": seed,
+            "cells": len(cells),
+        },
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "visible_cpus": default_workers(),
+            "workers": workers,
+        },
+        "timings_seconds": {
+            "serial_uncached": serial_uncached,
+            "serial": serial_seconds,
+            "parallel": parallel_seconds,
+        },
+        "speedups": {
+            "trace_cache": (
+                serial_uncached / serial_seconds
+                if serial_uncached is not None and serial_seconds > 0
+                else None
+            ),
+            "parallel_vs_serial": (
+                serial_seconds / parallel_seconds if parallel_seconds > 0 else None
+            ),
+        },
+        "throughput": {
+            "serial_cells_per_second": (
+                len(cells) / serial_seconds if serial_seconds > 0 else None
+            ),
+            "parallel_cells_per_second": (
+                len(cells) / parallel_seconds if parallel_seconds > 0 else None
+            ),
+        },
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """Human-readable rendering of a perf report."""
+    grid = report["grid"]
+    env = report["environment"]
+    timings = report["timings_seconds"]
+    speedups = report["speedups"]
+    lines = [
+        f"reference sweep: {grid['cells']} cells "
+        f"({len(grid['benchmarks'])} benchmarks x "
+        f"{len(grid['protocols'])} protocols, "
+        f"{grid['accesses_per_trace']} accesses each)",
+        f"python {env['python']} on {env['platform']} "
+        f"({env['visible_cpus']} visible cpu(s), {env['workers']} workers)",
+    ]
+    if timings["serial_uncached"] is not None:
+        lines.append(
+            f"serial, no trace cache : {timings['serial_uncached']:8.2f} s"
+        )
+    lines.append(f"serial, trace cache    : {timings['serial']:8.2f} s")
+    lines.append(f"parallel               : {timings['parallel']:8.2f} s")
+    if speedups["trace_cache"] is not None:
+        lines.append(f"trace-cache speedup    : {speedups['trace_cache']:8.2f}x")
+    if speedups["parallel_vs_serial"] is not None:
+        lines.append(
+            f"parallel speedup       : {speedups['parallel_vs_serial']:8.2f}x"
+        )
+    return "\n".join(lines)

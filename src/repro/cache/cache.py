@@ -49,7 +49,7 @@ def _mix_key(key: Key) -> int:
     return value
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """State of one resident line."""
 
@@ -57,7 +57,7 @@ class CacheLine:
     dirty: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EvictedLine:
     """An eviction event handed back to the caller."""
 
@@ -93,6 +93,9 @@ class SetAssociativeCache:
         # by the workload's metadata footprint).
         self._hits = self.stats.counter("hits")
         self._misses = self.stats.counter("misses")
+        self._fills = self.stats.counter("fills")
+        self._evictions = self.stats.counter("evictions")
+        self._dirty_evictions = self.stats.counter("dirty_evictions")
         self._index_memo: dict = {}
 
     # -- placement -------------------------------------------------------
@@ -144,11 +147,11 @@ class SetAssociativeCache:
         if len(bucket) >= self.associativity:
             victim_key, victim_line = bucket.popitem(last=False)
             victim = EvictedLine(victim_key, victim_line.dirty)
-            self.stats.add("evictions")
+            self._evictions.value += 1
             if victim_line.dirty:
-                self.stats.add("dirty_evictions")
+                self._dirty_evictions.value += 1
         bucket[key] = CacheLine(key, dirty)
-        self.stats.add("fills")
+        self._fills.value += 1
         return victim
 
     def mark_dirty(self, key: Key) -> None:

@@ -23,7 +23,7 @@ from repro.config import DataCacheConfig
 from repro.mem.address import AddressSpace
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryTraffic:
     """Memory-side consequences of one CPU reference.
 
@@ -36,6 +36,11 @@ class MemoryTraffic:
     hit: bool
     fill_block: Optional[int] = None
     writeback_blocks: tuple = ()
+
+
+#: Hits vastly outnumber misses and carry no per-access state, so every
+#: hit returns this one immutable record instead of a fresh allocation.
+_HIT = MemoryTraffic(hit=True)
 
 
 class DataCache:
@@ -57,6 +62,8 @@ class DataCache:
             name=name,
             set_of=lambda key: key,  # keys are block indices
         )
+        # Hot path: per-access bound-method resolution hoisted out.
+        self._block_index = address_space.block_index
 
     @property
     def stats(self):
@@ -64,19 +71,20 @@ class DataCache:
 
     def access(self, addr: int, is_write: bool) -> MemoryTraffic:
         """Run one CPU reference; returns resulting memory traffic."""
-        block = self.address_space.block_index(addr)
-        if self._cache.lookup(block):
+        cache = self._cache
+        block = self._block_index(addr)
+        if cache.lookup(block):
             if is_write:
-                self._cache.mark_dirty(block)
-            return MemoryTraffic(hit=True)
-        victim = self._cache.insert(block, dirty=is_write)
-        writebacks: List[int] = []
-        if victim is not None and victim.dirty:
-            writebacks.append(victim.key)
+                cache.mark_dirty(block)
+            return _HIT
+        victim = cache.insert(block, dirty=is_write)
+        writebacks = (
+            (victim.key,) if victim is not None and victim.dirty else ()
+        )
         return MemoryTraffic(
             hit=False,
             fill_block=block,
-            writeback_blocks=tuple(writebacks),
+            writeback_blocks=writebacks,
         )
 
     def flush(self) -> List[int]:
@@ -90,7 +98,7 @@ class DataCache:
     def flush_block(self, addr: int) -> Optional[int]:
         """CLWB-style single-line flush; returns the block if it was
         dirty (and therefore produced a memory write)."""
-        block = self.address_space.block_index(addr)
+        block = self._block_index(addr)
         if self._cache.is_dirty(block):
             self._cache.clean(block)
             return block

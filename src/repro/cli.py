@@ -6,9 +6,15 @@ Commands:
   print the normalized-cycles table (one bar group of Figure 4/8);
 * ``experiment`` — regenerate a whole paper artifact by name
   (``fig3``..``fig8``, ``table2``..``table4``);
+* ``perf`` — time the reference sweep serial vs parallel and write
+  ``BENCH_sweep.json``;
 * ``area-table`` — print Table 3;
 * ``recovery-table`` — print Table 4;
 * ``protocols`` — list registered protocols.
+
+``sweep``, ``experiment``, and ``perf`` accept ``--workers N`` to fan
+the sweep grid out over a process pool; results are bit-identical to
+the serial run.
 
 Everything the CLI does is a thin wrapper over the public API, so the
 printed numbers are identical to what the pytest benchmark harness
@@ -27,8 +33,8 @@ from repro.config import default_config
 from repro.core.protocol import protocol_names
 from repro.sim.runner import FIGURE_PROTOCOLS, sweep_normalized
 from repro.workloads.parsec import PARSEC_PROFILES, parsec_profile
+from repro.workloads.registry import profile_spec
 from repro.workloads.spec import SPEC_PROFILES, spec_profile
-from repro.workloads.synthetic import generate_trace
 
 
 def _profile_for(name: str):
@@ -42,14 +48,20 @@ def _profile_for(name: str):
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     config = default_config(subtree_level=args.subtree_level)
-    profile = _profile_for(args.benchmark).scaled(accesses=args.accesses)
-    trace = generate_trace(profile, seed=args.seed)
+    if args.benchmark in PARSEC_PROFILES:
+        trace = profile_spec("parsec", args.benchmark, args.accesses, args.seed)
+    elif args.benchmark in SPEC_PROFILES:
+        trace = profile_spec("spec", args.benchmark, args.accesses, args.seed)
+    else:
+        _profile_for(args.benchmark)  # raises with the known-name list
+        raise AssertionError("unreachable")
     normalized = sweep_normalized(
         trace,
         config,
         protocols=tuple(args.protocols),
         seed=args.seed,
         scatter_span_chunks=args.scatter_chunks,
+        workers=args.workers,
     )
     rows = [
         {"protocol": name, "normalized_cycles": value}
@@ -67,25 +79,30 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def cmd_experiment(args: argparse.Namespace) -> int:
     name = args.name
+    workers = args.workers
     if name == "fig3":
         print(format_series(experiments.fig3_hotness(accesses=args.accesses)))
     elif name == "fig4":
         print(
             format_series(
-                experiments.fig4_single_program(accesses=args.accesses),
+                experiments.fig4_single_program(
+                    accesses=args.accesses, workers=workers
+                ),
                 title="Figure 4",
             )
         )
     elif name == "fig5":
         print(
             format_series(
-                experiments.fig5_multiprogram(accesses_each=args.accesses // 2),
+                experiments.fig5_multiprogram(
+                    accesses_each=args.accesses // 2, workers=workers
+                ),
                 title="Figure 5",
             )
         )
     elif name in ("fig6", "fig7"):
         sweep = experiments.fig6_fig7_level_sweep(
-            accesses_each=args.accesses // 2
+            accesses_each=args.accesses // 2, workers=workers
         )
         key = "cycles" if name == "fig6" else "hitrate"
         rows = []
@@ -103,13 +120,16 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     elif name == "fig8":
         print(
             format_series(
-                experiments.fig8_spec(accesses=args.accesses), title="Figure 8"
+                experiments.fig8_spec(accesses=args.accesses, workers=workers),
+                title="Figure 8",
             )
         )
     elif name == "table2":
         print(
             format_table(
-                experiments.table2_os_cost(accesses_each=args.accesses // 2),
+                experiments.table2_os_cost(
+                    accesses_each=args.accesses // 2, workers=workers
+                ),
                 title="Table 2",
             )
         )
@@ -180,6 +200,25 @@ def cmd_profiles(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Time the reference sweep (serial and parallel) and record it."""
+    from pathlib import Path
+
+    from repro.bench.perf import format_report, run_reference_bench
+
+    report = run_reference_bench(
+        workers=args.workers,
+        benchmarks=tuple(args.benchmarks),
+        accesses=args.accesses,
+        output=Path(args.output) if args.output else None,
+        include_uncached=not args.skip_uncached,
+    )
+    print(format_report(report))
+    if args.output:
+        print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_crash_drill(args: argparse.Namespace) -> int:
     """Functional crash/recovery drill: write, pull the plug, recover,
     audit — the quickest way to see a protocol's guarantee in action."""
@@ -234,6 +273,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=list(FIGURE_PROTOCOLS),
         choices=protocol_names(),
     )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for the sweep grid (1 = in-process serial)",
+    )
     sweep.set_defaults(handler=cmd_sweep)
 
     experiment = commands.add_parser(
@@ -247,7 +292,41 @@ def build_parser() -> argparse.ArgumentParser:
         ],
     )
     experiment.add_argument("--accesses", type=int, default=40_000)
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for the experiment's sweep grid",
+    )
     experiment.set_defaults(handler=cmd_experiment)
+
+    perf = commands.add_parser(
+        "perf",
+        help="time the reference sweep and write BENCH_sweep.json",
+    )
+    perf.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool size for the parallel leg (default: visible cores)",
+    )
+    perf.add_argument("--accesses", type=int, default=20_000)
+    perf.add_argument(
+        "--benchmarks",
+        nargs="+",
+        default=["blackscholes", "bodytrack", "canneal"],
+    )
+    perf.add_argument(
+        "--output",
+        default="BENCH_sweep.json",
+        help="report path ('' to skip writing)",
+    )
+    perf.add_argument(
+        "--skip-uncached",
+        action="store_true",
+        help="skip the slow no-trace-cache leg (CI smoke)",
+    )
+    perf.set_defaults(handler=cmd_perf)
 
     area = commands.add_parser("area-table", help="print Table 3")
     area.set_defaults(handler=cmd_area_table)

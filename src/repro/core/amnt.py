@@ -62,6 +62,9 @@ class AMNTProtocol(MetadataPersistencePolicy):
         self._writes_since_selection = 0
         self._current_region: Optional[int] = None
         self._register = self.mee.registers.allocate("amnt_subtree_root", 64)
+        # Per-memory-write counters, pre-resolved off the hot path.
+        self._ctr_subtree_hits = self.stats.counter("subtree_hits")
+        self._ctr_subtree_misses = self.stats.counter("subtree_misses")
 
     # ------------------------------------------------------------------
     # region arithmetic
@@ -129,7 +132,7 @@ class AMNTProtocol(MetadataPersistencePolicy):
                     mee.engine.hash8(mee.tree.current_node_bytes(subtree)),
                     tag=subtree,
                 )
-            self.stats.add("subtree_hits")
+            self._ctr_subtree_hits.value += 1
         else:
             # Strict persistence outside it (ordered tree walk).
             cycles = mee.persist_counter_line(counter_index)
@@ -137,7 +140,7 @@ class AMNTProtocol(MetadataPersistencePolicy):
             cycles += mee.posted_write_cycles
             for node in path:
                 cycles += mee.persist_tree_node(node)
-            self.stats.add("subtree_misses")
+            self._ctr_subtree_misses.value += 1
 
         # Hot-region tracking runs off the critical path (§4.2); its
         # buffer update costs no cycles here, only the rare movement

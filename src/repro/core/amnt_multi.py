@@ -97,14 +97,14 @@ class AMNTMultiProtocol(AMNTProtocol):
                     mee.engine.hash8(mee.tree.current_node_bytes(node)),
                     tag=node,
                 )
-            self.stats.add("subtree_hits")
+            self._ctr_subtree_hits.value += 1
         else:
             cycles = mee.persist_counter_line(counter_index)
             mee.persist_hmac_line(block_index // 8)
             cycles += mee.posted_write_cycles
             for node in path:
                 cycles += mee.persist_tree_node(node)
-            self.stats.add("subtree_misses")
+            self._ctr_subtree_misses.value += 1
 
         self.history.record(region)
         self._writes_since_selection += 1

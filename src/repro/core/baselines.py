@@ -72,6 +72,9 @@ class StrictPersistenceProtocol(MetadataPersistencePolicy):
 
     name = "strict"
 
+    def _on_bind(self) -> None:
+        self._ctr_paths = self.stats.counter("write_through_paths")
+
     def on_data_write(
         self,
         counter_index: int,
@@ -89,7 +92,7 @@ class StrictPersistenceProtocol(MetadataPersistencePolicy):
         # is what puts strict persistence on the critical path.
         for node in path:
             cycles += mee.persist_tree_node(node)
-        self.stats.add("write_through_paths")
+        self._ctr_paths.value += 1
         return cycles
 
     def stale_data_bytes(self, memory_bytes: int) -> float:
@@ -109,6 +112,9 @@ class LeafPersistenceProtocol(MetadataPersistencePolicy):
 
     name = "leaf"
 
+    def _on_bind(self) -> None:
+        self._ctr_leaf_persists = self.stats.counter("leaf_persists")
+
     def on_data_write(
         self,
         counter_index: int,
@@ -123,7 +129,7 @@ class LeafPersistenceProtocol(MetadataPersistencePolicy):
         cycles = mee.persist_counter_line(counter_index)
         mee.persist_hmac_line(block_index // 8)
         cycles += mee.posted_write_cycles
-        self.stats.add("leaf_persists")
+        self._ctr_leaf_persists.value += 1
         return cycles
 
     def stale_data_bytes(self, memory_bytes: int) -> float:

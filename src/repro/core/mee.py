@@ -103,7 +103,27 @@ class MemoryEncryptionEngine:
         self.mdcache = MetadataCache(config.metadata_cache)
         self.registers = RegisterFile()
         self.stats = StatRegistry("mee")
+        # Pre-resolved counters for the per-access paths: bumping
+        # ``.value`` directly skips the string-keyed registry lookup on
+        # every data read/write (see NVMDevice for the same idiom).
+        self._ctr_data_reads = self.stats.counter("data_reads")
+        self._ctr_data_writes = self.stats.counter("data_writes")
+        self._ctr_walk_register = self.stats.counter("walk_stopped_at_register")
+        self._ctr_walk_cache = self.stats.counter("walk_stopped_at_cache")
+        self._ctr_md_writebacks = self.stats.counter("metadata_writebacks")
         self._path_memo: Dict[int, List[NodeId]] = {}
+        # Metadata-key memos: every read/write builds ("ctr", i) /
+        # ("hmac", line) / ("node", level, i) tuples for the cache; the
+        # key space is bounded by the metadata footprint, so memoizing
+        # them removes a tuple allocation per metadata touch. The node
+        # memo stores each counter's (node, key) pairs alongside the
+        # ancestor path so the walk loops allocate nothing.
+        self._counter_keys: Dict[int, tuple] = {}
+        self._hmac_keys: Dict[int, tuple] = {}
+        self._path_key_memo: Dict[int, List[Tuple[NodeId, tuple]]] = {}
+        # Hot bound methods resolved once.
+        self._block_index = self.address_space.block_index
+        self._page_index = self.address_space.page_index
         # Posted (queued) writes expose only part of the device latency
         # to the critical path; persists always pay it all.
         self._posted_write_cycles = max(
@@ -147,6 +167,33 @@ class MemoryEncryptionEngine:
             self._path_memo[counter_index] = path
         return path
 
+    def _ancestor_path_keys(
+        self, counter_index: int
+    ) -> List[Tuple[NodeId, tuple]]:
+        """The ancestor chain paired with ready-made cache keys."""
+        pairs = self._path_key_memo.get(counter_index)
+        if pairs is None:
+            pairs = [
+                (node, node_key(node[0], node[1]))
+                for node in self.ancestor_path(counter_index)
+            ]
+            self._path_key_memo[counter_index] = pairs
+        return pairs
+
+    def _counter_key(self, counter_index: int) -> tuple:
+        key = self._counter_keys.get(counter_index)
+        if key is None:
+            key = counter_key(counter_index)
+            self._counter_keys[counter_index] = key
+        return key
+
+    def _hmac_key(self, hmac_line: int) -> tuple:
+        key = self._hmac_keys.get(hmac_line)
+        if key is None:
+            key = hmac_key(hmac_line)
+            self._hmac_keys[hmac_line] = key
+        return key
+
     def _hmac_line_of_block(self, block_index: int) -> int:
         return block_index // MACS_PER_LINE
 
@@ -173,7 +220,7 @@ class MemoryEncryptionEngine:
         region = _region_of_key(key)
         self.nvm.write_access(region)
         cycles = self._posted_write_cycles
-        self.stats.add("metadata_writebacks")
+        self._ctr_md_writebacks.value += 1
         if self.functional:
             self._sync_line_to_backend(key)
         cycles += self.protocol.on_metadata_writeback(key)
@@ -270,28 +317,27 @@ class MemoryEncryptionEngine:
         return plaintext
 
     def _read_block_common(self, paddr: int) -> Tuple[int, bytes]:
-        block_index = self.address_space.block_index(paddr)
-        counter_index = self.address_space.page_index(paddr)
+        block_index = self._block_index(paddr)
+        counter_index = self._page_index(paddr)
         cycles = self.nvm.read_access(MetadataRegion.DATA)
-        self.stats.add("data_reads")
+        self._ctr_data_reads.value += 1
 
-        fetch_cycles, _ = self._fetch_metadata(counter_key(counter_index))
+        fetch_cycles, _ = self._fetch_metadata(self._counter_key(counter_index))
         cycles += fetch_cycles
 
         # Verification walk: stop at the first trusted anchor.
-        for node in self.ancestor_path(counter_index):
-            if self.protocol.trusted_register_node(node, counter_index):
-                self.stats.add("walk_stopped_at_register")
+        trusted = self.protocol.trusted_register_node
+        for node, key in self._ancestor_path_keys(counter_index):
+            if trusted(node, counter_index):
+                self._ctr_walk_register.value += 1
                 break
-            fetch_cycles, was_hit = self._fetch_metadata(
-                node_key(node[0], node[1])
-            )
+            fetch_cycles, was_hit = self._fetch_metadata(key)
             cycles += fetch_cycles
             if was_hit:
-                self.stats.add("walk_stopped_at_cache")
+                self._ctr_walk_cache.value += 1
                 break
-        hmac_line = self._hmac_line_of_block(block_index)
-        fetch_cycles, _ = self._fetch_metadata(hmac_key(hmac_line))
+        hmac_line = block_index // MACS_PER_LINE
+        fetch_cycles, _ = self._fetch_metadata(self._hmac_key(hmac_line))
         cycles += fetch_cycles
         cycles += self.protocol.on_read_authentication(counter_index)
 
@@ -343,33 +389,36 @@ class MemoryEncryptionEngine:
         posted, and the protocol's fence-ordered bookkeeping is charged
         on the critical path.
         """
-        block_index = self.address_space.block_index(paddr)
-        counter_index = self.address_space.page_index(paddr)
+        block_index = self._block_index(paddr)
+        counter_index = self._page_index(paddr)
         block_base = self.address_space.block_base(paddr)
-        self.stats.add("data_writes")
+        self._ctr_data_writes.value += 1
 
         # 1. read-modify-write the counter.
-        cycles, _ = self._fetch_metadata(counter_key(counter_index))
-        self.mdcache.mark_dirty(counter_key(counter_index))
+        ctr_key = self._counter_key(counter_index)
+        cycles, _ = self._fetch_metadata(ctr_key)
+        self.mdcache.mark_dirty(ctr_key)
         if self.functional:
             self._functional_counter_bump_and_store(
                 paddr, block_base, block_index, counter_index, data
             )
 
         # 2. update the HMAC line in cache.
-        hmac_line = self._hmac_line_of_block(block_index)
-        fetch_cycles, _ = self._fetch_metadata(hmac_key(hmac_line))
+        line_key = self._hmac_key(block_index // MACS_PER_LINE)
+        fetch_cycles, _ = self._fetch_metadata(line_key)
         cycles += fetch_cycles
-        self.mdcache.mark_dirty(hmac_key(hmac_line))
+        self.mdcache.mark_dirty(line_key)
 
         # 3. update the ancestor path in cache (protocols with an NV
         #    trust anchor stop the update below it).
         path = self.ancestor_path(counter_index)
         extent = self.protocol.path_update_extent(counter_index, path)
+        mark_dirty = self.mdcache.mark_dirty
         for node in extent:
-            fetch_cycles, _ = self._fetch_metadata(node_key(node[0], node[1]))
+            key = node_key(node[0], node[1])
+            fetch_cycles, _ = self._fetch_metadata(key)
             cycles += fetch_cycles
-            self.mdcache.mark_dirty(node_key(node[0], node[1]))
+            mark_dirty(key)
 
         # 4. the data write itself (posted, unless under a fence).
         self.nvm.write_access(MetadataRegion.DATA)

@@ -22,7 +22,7 @@ All geometry is pure arithmetic; nothing here stores node contents.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator, List, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Tuple
 
 from repro.errors import ConfigError
 from repro.util.bitops import ceil_div
@@ -32,6 +32,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: A tree node is identified by its (level, index) pair, level >= 1.
 NodeId = Tuple[int, int]
+
+#: Ancestor paths are pure functions of (num_counter_blocks, arity), so
+#: every geometry of the same shape — e.g. the seven machines a protocol
+#: sweep builds over one trace — shares a single path memo. Callers
+#: treat the returned lists as read-only.
+_ANCESTOR_MEMO: Dict[Tuple[int, int], Dict[int, List[NodeId]]] = {}
 
 
 @dataclass(frozen=True)
@@ -59,6 +65,10 @@ class TreeGeometry:
         if sizes[0] != 1:
             raise ConfigError("internal error: root level must have one node")
         object.__setattr__(self, "_level_sizes", sizes)
+        shape = (self.num_counter_blocks, self.arity)
+        object.__setattr__(
+            self, "_ancestor_memo", _ANCESTOR_MEMO.setdefault(shape, {})
+        )
 
     @classmethod
     def from_config(cls, config: "SystemConfig") -> "TreeGeometry":
@@ -138,14 +148,23 @@ class TreeGeometry:
 
         The returned list starts at the counter block's direct parent
         and ends at ``(1, 0)`` — the order a write-through persist walks.
+        Results are memoized per tree shape and shared between geometry
+        instances; callers must treat the list as read-only.
         """
-        if not 0 <= counter_index < self.num_counter_blocks:
-            raise ConfigError(f"counter block {counter_index} out of range")
-        path: List[NodeId] = []
-        node: NodeId = (self.counter_level, counter_index)
-        while node[0] > 1:
-            node = self.parent(node)
-            path.append(node)
+        memo: Dict[int, List[NodeId]] = self._ancestor_memo
+        path = memo.get(counter_index)
+        if path is None:
+            if not 0 <= counter_index < self.num_counter_blocks:
+                raise ConfigError(
+                    f"counter block {counter_index} out of range"
+                )
+            arity = self.arity
+            index = counter_index
+            path = []
+            for level in range(self.num_node_levels, 0, -1):
+                index //= arity
+                path.append((level, index))
+            memo[counter_index] = path
         return path
 
     # -- coverage ---------------------------------------------------------

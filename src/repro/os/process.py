@@ -47,6 +47,11 @@ class MemoryManager:
         self.restructurer = restructurer
         self.stats = StatRegistry("mm")
         self._processes: Dict[int, Process] = {}
+        # translate() runs once per trace record: resolve the fault
+        # counter once and keep a flat pid -> page-table map so the
+        # common case is two dict probes and an integer multiply.
+        self._page_faults = self.stats.counter("page_faults")
+        self._tables: Dict[int, PageTable] = {}
 
     @property
     def modified_os(self) -> bool:
@@ -58,23 +63,27 @@ class MemoryManager:
         if existing is None:
             existing = Process(pid, PageTable(self.page_bytes))
             self._processes[pid] = existing
+            self._tables[pid] = existing.page_table
         return existing
 
     def translate(self, pid: int, vaddr: int) -> int:
         """Virtual to physical byte address, faulting pages in on
         demand from the buddy allocator."""
-        table = self.process(pid).page_table
+        table = self._tables.get(pid)
+        if table is None:
+            table = self.process(pid).page_table
         paddr = table.translate(vaddr)
         if paddr is not None:
             return paddr
         frame = self.allocator.alloc_pages(order=0)
         table.map(vaddr // self.page_bytes, frame)
-        self.stats.add("page_faults")
+        self._page_faults.value += 1
         return frame * self.page_bytes + (vaddr % self.page_bytes)
 
     def release_process(self, pid: int) -> int:
         """Tear down a process, freeing every frame (reclamation)."""
         process = self._processes.pop(pid, None)
+        self._tables.pop(pid, None)
         if process is None:
             return 0
         freed = 0

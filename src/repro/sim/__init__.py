@@ -3,6 +3,7 @@
 from repro.sim.engine import simulate
 from repro.sim.machine import Machine, build_machine
 from repro.sim.multicore import PrivateCacheLayer, simulate_multicore
+from repro.sim.parallel import ParallelSweepRunner, SweepCell, run_cell
 from repro.sim.results import SimulationResult, normalized_cycles
 from repro.sim.runner import run_protocol_sweep, sweep_normalized
 
@@ -12,6 +13,9 @@ __all__ = [
     "simulate",
     "simulate_multicore",
     "PrivateCacheLayer",
+    "ParallelSweepRunner",
+    "SweepCell",
+    "run_cell",
     "SimulationResult",
     "normalized_cycles",
     "run_protocol_sweep",

@@ -50,28 +50,42 @@ def simulate(
     block_bytes = machine.config.security.block_bytes
     llc_latency = machine.config.llc.access_latency_cycles
 
+    # The loop below runs once per trace record — hoist every bound
+    # method and attribute it touches so the interpreter does the
+    # lookups once instead of hundreds of thousands of times.
+    translate = mm.translate
+    llc_access = llc.access
+    llc_flush_block = llc.flush_block
+    read_block = mee.read_block
+    write_block = mee.write_block
+    churn = mm.churn
+
     cycles = 0
     app_instructions = 0
-    for position, access in enumerate(trace):
-        paddr = mm.translate(access.pid, access.vaddr)
-        traffic = llc.access(paddr, access.is_write)
-        cycles += access.think_cycles + llc_latency
-        app_instructions += access.think_cycles + 1
+    position = 0
+    for access in trace.accesses:
+        position += 1
+        think = access.think_cycles
+        is_write = access.is_write
+        paddr = translate(access.pid, access.vaddr)
+        traffic = llc_access(paddr, is_write)
+        cycles += think + llc_latency
+        app_instructions += think + 1
         if traffic.fill_block is not None:
-            cycles += mee.read_block(traffic.fill_block * block_bytes)
+            cycles += read_block(traffic.fill_block * block_bytes)
         for victim_block in traffic.writeback_blocks:
-            cycles += mee.write_block(victim_block * block_bytes)
-        if access.flush and access.is_write:
+            cycles += write_block(victim_block * block_bytes)
+        if is_write and access.flush:
             # CLWB + fence: the store is pushed to memory now, and the
             # core waits for the (protocol-dependent) persist to finish
             # — the path in-memory storage applications live on.
-            flushed_block = llc.flush_block(paddr)
+            flushed_block = llc_flush_block(paddr)
             if flushed_block is not None:
-                cycles += mee.write_block(
+                cycles += write_block(
                     flushed_block * block_bytes, fenced=True
                 )
-        if churn_interval and (position + 1) % churn_interval == 0:
-            mm.churn(
+        if churn_interval and position % churn_interval == 0:
+            churn(
                 rng, bursts=churn_bursts, pages_per_burst=churn_pages_per_burst
             )
     if flush_llc_at_end:

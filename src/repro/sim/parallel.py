@@ -1,0 +1,130 @@
+"""Parallel sweep execution over a multiprocessing pool.
+
+Every paper figure is a (protocol × workload × seed) grid whose cells
+are completely independent — each one builds a fresh machine, replays a
+deterministic trace, and returns a :class:`SimulationResult`. That is
+embarrassingly parallel, so :class:`ParallelSweepRunner` fans the cells
+out over a process pool.
+
+Design rules:
+
+* **Nothing heavyweight crosses the process boundary.** A cell carries
+  a :class:`~repro.workloads.registry.TraceSpec` (a recipe), not a
+  trace; workers regenerate the trace locally through the process-wide
+  materialization cache, so a worker that runs several protocols over
+  one workload generates that trace once.
+* **Determinism.** Cell results depend only on (config, protocol,
+  spec, seed); scheduling order cannot leak in. ``run`` returns results
+  in cell order, and a parallel run is bit-identical to the serial one.
+* **Graceful fallback.** ``workers <= 1``, an unavailable
+  ``multiprocessing`` start method, or a pool that dies mid-flight all
+  degrade to in-process execution of the same cells — same results,
+  one core.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.config import SystemConfig
+from repro.sim.engine import simulate
+from repro.sim.machine import build_machine
+from repro.sim.results import SimulationResult
+from repro.util.rng import Seed
+from repro.workloads.registry import TraceSpec, materialize_trace
+
+
+@dataclass(frozen=True, slots=True)
+class SweepCell:
+    """One independent unit of sweep work.
+
+    ``config`` may override the runner-level config (level sweeps build
+    a different geometry per cell); ``None`` means "use the shared one".
+    """
+
+    protocol: str
+    trace: TraceSpec
+    seed: Seed = 0
+    scatter_span_chunks: int = 0
+    churn_interval: int = 16384
+    config: Optional[SystemConfig] = None
+
+
+def run_cell(cell: SweepCell, config: SystemConfig) -> SimulationResult:
+    """Execute one cell in the current process."""
+    cell_config = cell.config if cell.config is not None else config
+    trace = materialize_trace(cell.trace)
+    machine = build_machine(
+        cell_config,
+        cell.protocol,
+        seed=cell.seed,
+        scatter_span_chunks=cell.scatter_span_chunks,
+    )
+    return simulate(
+        machine, trace, seed=cell.seed, churn_interval=cell.churn_interval
+    )
+
+
+def _pool_entry(payload: Tuple[SweepCell, SystemConfig]) -> SimulationResult:
+    """Top-level pool target (must be importable for spawn contexts)."""
+    cell, config = payload
+    return run_cell(cell, config)
+
+
+def default_workers() -> int:
+    """Usable core count (respects CPU affinity masks in containers)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+class ParallelSweepRunner:
+    """Run sweep cells across ``workers`` processes, in cell order.
+
+    ``workers=None`` auto-sizes to the visible core count; ``workers=1``
+    runs in-process (no pool, no pickling). ``start_method`` defaults to
+    ``fork`` where available — workers then inherit the parent's warm
+    trace cache for free — and falls back to the platform default.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self.workers = default_workers() if workers is None else max(1, workers)
+        self.start_method = start_method
+
+    def _context(self):
+        methods = multiprocessing.get_all_start_methods()
+        if self.start_method is not None:
+            return multiprocessing.get_context(self.start_method)
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def run(
+        self, cells: Sequence[SweepCell], config: SystemConfig
+    ) -> List[SimulationResult]:
+        """Execute every cell; results arrive in cell order."""
+        cells = list(cells)
+        if self.workers <= 1 or len(cells) <= 1:
+            return [run_cell(cell, config) for cell in cells]
+        payloads = [(cell, config) for cell in cells]
+        try:
+            with self._context().Pool(processes=self.workers) as pool:
+                # chunksize=1 keeps the grid balanced: cells differ
+                # wildly in cost (strict vs volatile), so batching
+                # them would serialize the expensive tail.
+                return pool.map(_pool_entry, payloads, chunksize=1)
+        except Exception:
+            # Pool creation or transport failed (sandboxed fork,
+            # pickling restrictions, interpreter teardown). The cells
+            # are pure, so re-running them in-process is always safe —
+            # and reproduces any genuine simulation error with a clean
+            # traceback.
+            return [run_cell(cell, config) for cell in cells]

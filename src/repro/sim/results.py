@@ -10,13 +10,20 @@ instruction counts for Table 2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, Mapping, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class SimulationResult:
-    """Outcome of one trace run on one machine."""
+    """Outcome of one trace run on one machine.
+
+    Results cross process boundaries (the parallel sweep runner returns
+    them from pool workers) and land in results files, so the class
+    round-trips losslessly through both ``pickle`` and JSON — every
+    field is a builtin scalar or a flat ``Dict[str, int]`` snapshot.
+    """
 
     workload: str
     protocol: str
@@ -79,6 +86,26 @@ class SimulationResult:
 
     def cycles_per_access(self) -> float:
         return self.cycles / self.accesses if self.accesses else 0.0
+
+    # -- serialization ------------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """A plain-builtin dict that ``json.dumps`` accepts as-is."""
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict())
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "SimulationResult":
+        """Inverse of :meth:`to_json_dict`; ignores unknown keys so
+        results files survive field additions in newer versions."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimulationResult":
+        return cls.from_json_dict(json.loads(text))
 
     def __repr__(self) -> str:
         return (

@@ -4,34 +4,70 @@ Each protocol gets a *fresh machine* but the *same virtual trace*, so
 differences come only from the protocol (and, for ``amnt++``, the
 modified OS's physical placement — which is the experiment). The runner
 is the building block every figure's benchmark harness uses.
+
+Sweeps accept either a materialized :class:`Trace` or a picklable
+:class:`~repro.workloads.registry.TraceSpec`; with ``workers > 1`` the
+cells fan out over a :class:`~repro.sim.parallel.ParallelSweepRunner`
+process pool and come back bit-identical to the serial run.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+import math
+from typing import Dict, Iterable, Optional, Sequence, Union
 
 from repro.config import SystemConfig
 from repro.sim.engine import simulate
 from repro.sim.machine import build_machine
+from repro.sim.parallel import ParallelSweepRunner, SweepCell
 from repro.sim.results import SimulationResult, normalized_cycles
 from repro.util.rng import Seed
+from repro.workloads.registry import TraceSpec, literal_spec, materialize_trace
 from repro.workloads.trace import Trace
 
 #: The protocol lineup of the paper's runtime figures (4, 5, 8).
 FIGURE_PROTOCOLS = ("volatile", "leaf", "strict", "anubis", "bmf", "amnt")
 FIGURE_PROTOCOLS_WITH_OS = FIGURE_PROTOCOLS + ("amnt++",)
 
+TraceLike = Union[Trace, TraceSpec]
+
 
 def run_protocol_sweep(
-    trace: Trace,
+    trace: TraceLike,
     config: SystemConfig,
     protocols: Sequence[str] = FIGURE_PROTOCOLS,
     seed: Seed = 0,
     scatter_span_chunks: int = 0,
     churn_interval: int = 16384,
+    workers: int = 1,
 ) -> Dict[str, SimulationResult]:
-    """Run ``trace`` under each protocol on a fresh machine."""
-    results: Dict[str, SimulationResult] = {}
+    """Run ``trace`` under each protocol on a fresh machine.
+
+    ``workers > 1`` distributes the protocols over a process pool. A
+    raw :class:`Trace` is wrapped in a literal spec for the pool (the
+    whole trace is pickled once per worker); pass a
+    :class:`~repro.workloads.registry.TraceSpec` so workers regenerate
+    it locally instead.
+    """
+    if workers > 1:
+        spec = trace if isinstance(trace, TraceSpec) else literal_spec(trace)
+        cells = [
+            SweepCell(
+                protocol=name,
+                trace=spec,
+                seed=seed,
+                scatter_span_chunks=scatter_span_chunks,
+                churn_interval=churn_interval,
+            )
+            for name in protocols
+        ]
+        results = ParallelSweepRunner(workers=workers).run(cells, config)
+        return dict(zip(protocols, results))
+
+    materialized = (
+        materialize_trace(trace) if isinstance(trace, TraceSpec) else trace
+    )
+    results_by_name: Dict[str, SimulationResult] = {}
     for name in protocols:
         machine = build_machine(
             config,
@@ -39,19 +75,20 @@ def run_protocol_sweep(
             seed=seed,
             scatter_span_chunks=scatter_span_chunks,
         )
-        results[name] = simulate(
-            machine, trace, seed=seed, churn_interval=churn_interval
+        results_by_name[name] = simulate(
+            machine, materialized, seed=seed, churn_interval=churn_interval
         )
-    return results
+    return results_by_name
 
 
 def sweep_normalized(
-    trace: Trace,
+    trace: TraceLike,
     config: SystemConfig,
     protocols: Sequence[str] = FIGURE_PROTOCOLS,
     seed: Seed = 0,
     scatter_span_chunks: int = 0,
     baseline: str = "volatile",
+    workers: int = 1,
 ) -> Dict[str, float]:
     """Normalized cycles (the paper's y-axis) for each protocol."""
     protocols = tuple(protocols)
@@ -63,18 +100,24 @@ def sweep_normalized(
         protocols,
         seed=seed,
         scatter_span_chunks=scatter_span_chunks,
+        workers=workers,
     )
     return normalized_cycles(results, baseline=baseline)
 
 
 def geometric_mean(values: Iterable[float]) -> float:
-    """Geomean used for 'average overhead' style summary numbers."""
+    """Geomean used for 'average overhead' style summary numbers.
+
+    Computed as ``exp(mean(log(v)))`` rather than an n-th root of a
+    running product: long sweeps with extreme normalized values would
+    overflow to ``inf`` or underflow to ``0.0`` in the product form.
+    """
     values = list(values)
     if not values:
         raise ValueError("geometric mean of nothing")
-    product = 1.0
+    log_sum = 0.0
     for value in values:
         if value <= 0:
             raise ValueError(f"geometric mean requires positive values, got {value}")
-        product *= value
-    return product ** (1.0 / len(values))
+        log_sum += math.log(value)
+    return math.exp(log_sum / len(values))

@@ -13,9 +13,14 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, Mapping, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class StatCounter:
-    """A single named monotonically increasing counter."""
+    """A single named monotonically increasing counter.
+
+    Hot components pre-resolve counters once (``registry.counter(...)``)
+    and bump ``.value`` directly; ``__slots__`` keeps each bump a fixed
+    offset load instead of an instance-dict probe.
+    """
 
     name: str
     value: int = 0

@@ -1,0 +1,154 @@
+"""Trace specs: picklable trace recipes plus a materialization cache.
+
+The parallel sweep runner ships work to ``multiprocessing`` workers.
+Pickling a materialized :class:`~repro.workloads.trace.Trace` would move
+hundreds of thousands of access records per cell across the process
+boundary, so instead each sweep cell carries a :class:`TraceSpec` — the
+*(suite, names, accesses, seed)* recipe a worker replays locally.
+Generation is a pure function of the recipe (see
+:mod:`repro.workloads.synthetic`), so a spec materialized anywhere
+yields a bit-identical trace.
+
+Materialization is memoized in a process-wide cache: a sweep that runs
+seven protocols over one workload generates the trace once, not seven
+times, whether the cells run in the parent or in a pool worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple, Union
+
+from repro.util.rng import Seed
+from repro.workloads.trace import MemoryAccess, Trace
+
+#: Known profile suites, resolved lazily to avoid import cycles.
+_SUITES: Dict[str, Callable[[str], object]] = {}
+
+
+def _suite_lookup(suite: str):
+    if not _SUITES:
+        from repro.workloads.parsec import parsec_profile
+        from repro.workloads.spec import spec_profile
+
+        _SUITES["parsec"] = parsec_profile
+        _SUITES["spec"] = spec_profile
+    try:
+        return _SUITES[suite]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload suite {suite!r}; known: {sorted(_SUITES)}"
+        ) from None
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSpec:
+    """A picklable recipe for one trace.
+
+    ``kind`` is ``"profile"`` (one benchmark), ``"multiprogram"``
+    (interleaved co-runners), or ``"literal"`` (the access records
+    themselves, for traces with no recipe — heavyweight to pickle, so
+    the runner only falls back to it when handed a raw trace).
+    """
+
+    kind: str
+    suite: str = ""
+    names: Tuple[str, ...] = ()
+    accesses: int = 0
+    seed: Union[int, str] = 0
+    #: ``literal`` payload: (name, ((vaddr, w, pid, think, flush), ...)).
+    payload: Tuple = ()
+
+    def label(self) -> str:
+        if self.kind == "literal":
+            return self.payload[0]
+        return "+".join(self.names)
+
+
+def profile_spec(
+    suite: str, name: str, accesses: int, seed: Seed = 0
+) -> TraceSpec:
+    """Spec for one benchmark of ``suite`` scaled to ``accesses``."""
+    return TraceSpec(
+        kind="profile", suite=suite, names=(name,), accesses=accesses, seed=seed
+    )
+
+
+def multiprogram_spec(
+    suite: str, names: Tuple[str, ...], accesses_each: int, seed: Seed = 0
+) -> TraceSpec:
+    """Spec for co-running benchmarks interleaved in virtual time."""
+    return TraceSpec(
+        kind="multiprogram",
+        suite=suite,
+        names=tuple(names),
+        accesses=accesses_each,
+        seed=seed,
+    )
+
+
+def literal_spec(trace: Trace) -> TraceSpec:
+    """Wrap an already-materialized trace (no recipe available)."""
+    payload = (
+        trace.name,
+        tuple(
+            (a.vaddr, a.is_write, a.pid, a.think_cycles, a.flush)
+            for a in trace.accesses
+        ),
+    )
+    return TraceSpec(kind="literal", payload=payload)
+
+
+def _materialize(spec: TraceSpec) -> Trace:
+    if spec.kind == "profile":
+        from repro.workloads.synthetic import generate_trace
+
+        profile = _suite_lookup(spec.suite)(spec.names[0])
+        return generate_trace(
+            profile.scaled(accesses=spec.accesses), seed=spec.seed
+        )
+    if spec.kind == "multiprogram":
+        from repro.workloads.multiprogram import multiprogram_trace
+
+        lookup = _suite_lookup(spec.suite)
+        profiles = [lookup(name) for name in spec.names]
+        return multiprogram_trace(
+            profiles, seed=spec.seed, accesses_each=spec.accesses
+        )
+    if spec.kind == "literal":
+        name, records = spec.payload
+        return Trace(
+            name, [MemoryAccess(*record) for record in records]
+        )
+    raise ValueError(f"unknown trace spec kind {spec.kind!r}")
+
+
+#: Process-wide materialization cache. Workers forked from a warm
+#: parent inherit it; spawned workers fill their own on first use.
+_TRACE_CACHE: Dict[TraceSpec, Trace] = {}
+
+
+def materialize_trace(spec: TraceSpec, cache: bool = True) -> Trace:
+    """Build (or fetch) the trace a spec describes.
+
+    With ``cache=True`` repeated materializations of the same spec in
+    one process return the same :class:`Trace` object. Traces are
+    treated as immutable once materialized — do not append to a cached
+    trace.
+    """
+    if not cache:
+        return _materialize(spec)
+    trace = _TRACE_CACHE.get(spec)
+    if trace is None:
+        trace = _materialize(spec)
+        _TRACE_CACHE[spec] = trace
+    return trace
+
+
+def trace_cache_clear() -> None:
+    """Drop every cached trace (tests, long-lived servers)."""
+    _TRACE_CACHE.clear()
+
+
+def trace_cache_size() -> int:
+    return len(_TRACE_CACHE)

@@ -1,0 +1,237 @@
+"""The parallel sweep runner, trace specs, and result serialization."""
+
+import json
+import pickle
+
+import pytest
+
+from dataclasses import replace
+
+from repro.config import DataCacheConfig, default_config
+from repro.sim.parallel import (
+    ParallelSweepRunner,
+    SweepCell,
+    default_workers,
+    run_cell,
+)
+from repro.sim.results import SimulationResult
+from repro.sim.runner import run_protocol_sweep
+from repro.util.units import MB
+from repro.workloads.registry import (
+    TraceSpec,
+    literal_spec,
+    materialize_trace,
+    multiprogram_spec,
+    profile_spec,
+    trace_cache_clear,
+    trace_cache_size,
+)
+from repro.workloads.synthetic import WorkloadProfile, generate_trace
+
+#: Grid kept deliberately small: 2 workloads x 3 protocols x 2k accesses
+#: runs in seconds even on one core while still exercising both the
+#: strict (tree-walk) and volatile (lazy) extremes.
+GRID_PROTOCOLS = ("volatile", "leaf", "strict")
+GRID_ACCESSES = 2_000
+GRID_SEED = 2024
+
+
+@pytest.fixture
+def config():
+    base = default_config(capacity_bytes=64 * MB)
+    return replace(
+        base,
+        llc=DataCacheConfig(capacity_bytes=64 * 1024, associativity=16),
+    )
+
+
+def grid_cells():
+    return [
+        SweepCell(
+            protocol=protocol,
+            trace=profile_spec("parsec", name, GRID_ACCESSES, GRID_SEED),
+            seed=GRID_SEED,
+        )
+        for name in ("blackscholes", "canneal")
+        for protocol in GRID_PROTOCOLS
+    ]
+
+
+class TestTraceSpec:
+    def test_profile_spec_matches_direct_generation(self):
+        from repro.workloads.parsec import parsec_profile
+
+        spec = profile_spec("parsec", "bodytrack", 500, seed=7)
+        direct = generate_trace(
+            parsec_profile("bodytrack").scaled(accesses=500), seed=7
+        )
+        assert materialize_trace(spec, cache=False).accesses == direct.accesses
+
+    def test_multiprogram_spec_matches_direct_generation(self):
+        from repro.workloads.multiprogram import multiprogram_trace
+        from repro.workloads.parsec import parsec_profile
+
+        spec = multiprogram_spec(
+            "parsec", ("bodytrack", "fluidanimate"), 400, seed=7
+        )
+        direct = multiprogram_trace(
+            [parsec_profile("bodytrack"), parsec_profile("fluidanimate")],
+            seed=7,
+            accesses_each=400,
+        )
+        assert materialize_trace(spec, cache=False).accesses == direct.accesses
+
+    def test_literal_spec_round_trips(self):
+        profile = WorkloadProfile(
+            name="lit", footprint_bytes=1 * MB, num_accesses=200,
+            write_fraction=0.3,
+        )
+        trace = generate_trace(profile, seed=5)
+        rebuilt = materialize_trace(literal_spec(trace), cache=False)
+        assert rebuilt.name == trace.name
+        assert rebuilt.accesses == trace.accesses
+
+    def test_cache_returns_same_object(self):
+        trace_cache_clear()
+        spec = profile_spec("parsec", "swaptions", 300, seed=1)
+        first = materialize_trace(spec)
+        assert materialize_trace(spec) is first
+        assert trace_cache_size() == 1
+        trace_cache_clear()
+        assert trace_cache_size() == 0
+
+    def test_spec_is_picklable_and_hashable(self):
+        spec = profile_spec("spec", "lbm", 100, seed=3)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert len({spec, profile_spec("spec", "lbm", 100, seed=3)}) == 1
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(KeyError, match="unknown workload suite"):
+            materialize_trace(
+                profile_spec("nope", "lbm", 100, seed=3), cache=False
+            )
+
+
+class TestParallelEquivalence:
+    def test_parallel_matches_serial_cell_for_cell(self, config):
+        """workers=4 must be bit-identical to workers=1, per cell."""
+        cells = grid_cells()
+        serial = ParallelSweepRunner(workers=1).run(cells, config)
+        parallel = ParallelSweepRunner(workers=4).run(cells, config)
+        assert len(serial) == len(parallel) == len(cells)
+        for cell, s, p in zip(cells, serial, parallel):
+            assert s == p, f"cell {cell.protocol}/{cell.trace.label()} diverged"
+            assert s.cycles == p.cycles
+            assert s.llc_hit_rate == p.llc_hit_rate
+
+    def test_two_parallel_runs_agree(self, config):
+        """Same seed, same grid: scheduling must not leak into results."""
+        cells = grid_cells()
+        first = ParallelSweepRunner(workers=4).run(cells, config)
+        second = ParallelSweepRunner(workers=4).run(cells, config)
+        assert first == second
+
+    def test_results_arrive_in_cell_order(self, config):
+        cells = grid_cells()
+        results = ParallelSweepRunner(workers=4).run(cells, config)
+        assert [r.protocol for r in results] == [c.protocol for c in cells]
+
+    def test_run_protocol_sweep_workers_match(self, config):
+        spec = profile_spec("parsec", "blackscholes", GRID_ACCESSES, GRID_SEED)
+        serial = run_protocol_sweep(
+            spec, config, GRID_PROTOCOLS, seed=GRID_SEED, workers=1
+        )
+        parallel = run_protocol_sweep(
+            spec, config, GRID_PROTOCOLS, seed=GRID_SEED, workers=4
+        )
+        assert serial == parallel
+
+    def test_sweep_accepts_materialized_trace_with_workers(self, config):
+        trace = materialize_trace(
+            profile_spec("parsec", "blackscholes", GRID_ACCESSES, GRID_SEED)
+        )
+        serial = run_protocol_sweep(
+            trace, config, ("volatile", "leaf"), seed=GRID_SEED, workers=1
+        )
+        parallel = run_protocol_sweep(
+            trace, config, ("volatile", "leaf"), seed=GRID_SEED, workers=2
+        )
+        assert serial == parallel
+
+    def test_per_cell_config_override(self, config):
+        other = config.with_amnt(subtree_level=4)
+        cell = SweepCell(
+            protocol="amnt",
+            trace=profile_spec("parsec", "blackscholes", 1_000, GRID_SEED),
+            seed=GRID_SEED,
+            config=other,
+        )
+        overridden = run_cell(cell, config)
+        plain = run_cell(replace(cell, config=None), config)
+        assert overridden.protocol == plain.protocol == "amnt"
+
+
+class TestFallback:
+    def test_workers_one_never_builds_a_pool(self, config, monkeypatch):
+        import multiprocessing
+
+        def explode(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("pool built for workers=1")
+
+        monkeypatch.setattr(multiprocessing, "get_context", explode)
+        cells = grid_cells()[:2]
+        results = ParallelSweepRunner(workers=1).run(cells, config)
+        assert len(results) == 2
+
+    def test_broken_pool_falls_back_in_process(self, config, monkeypatch):
+        runner = ParallelSweepRunner(workers=4)
+        monkeypatch.setattr(
+            ParallelSweepRunner,
+            "_context",
+            lambda self: (_ for _ in ()).throw(OSError("no fork for you")),
+        )
+        cells = grid_cells()[:2]
+        fallback = runner.run(cells, config)
+        serial = ParallelSweepRunner(workers=1).run(cells, config)
+        assert fallback == serial
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestResultSerialization:
+    def _one_result(self, config) -> SimulationResult:
+        return run_cell(grid_cells()[0], config)
+
+    def test_pickle_round_trip(self, config):
+        result = self._one_result(config)
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone == result
+        assert clone.nvm_stats == result.nvm_stats
+        assert clone.protocol_stats == result.protocol_stats
+        assert clone.mee_stats == result.mee_stats
+
+    def test_json_round_trip(self, config):
+        result = self._one_result(config)
+        clone = SimulationResult.from_json(result.to_json())
+        assert clone == result
+
+    def test_json_dict_is_plain_builtins(self, config):
+        payload = self._one_result(config).to_json_dict()
+        json.dumps(payload)  # would raise on any non-builtin leaf
+        assert isinstance(payload["nvm_stats"], dict)
+
+    def test_from_json_dict_ignores_unknown_keys(self, config):
+        payload = self._one_result(config).to_json_dict()
+        payload["added_in_a_future_version"] = 42
+        clone = SimulationResult.from_json_dict(payload)
+        assert clone.cycles == payload["cycles"]
+
+    def test_derived_metrics_survive_round_trip(self, config):
+        result = self._one_result(config)
+        clone = SimulationResult.from_json(result.to_json())
+        assert clone.cycles_per_access() == result.cycles_per_access()
+        assert clone.persist_traffic() == result.persist_traffic()
+        assert clone.metadata_write_amplification() == (
+            result.metadata_write_amplification()
+        )

@@ -77,7 +77,7 @@ class TestGeometricMean:
         assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
 
     def test_single_value(self):
-        assert geometric_mean([3.0]) == 3.0
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
@@ -86,3 +86,15 @@ class TestGeometricMean:
     def test_nonpositive_rejected(self):
         with pytest.raises(ValueError):
             geometric_mean([1.0, 0.0])
+
+    def test_long_tiny_sweep_does_not_underflow(self):
+        # A running product of 500 values ~1e-3 underflows a double to
+        # 0.0; the log-sum form keeps full precision.
+        assert geometric_mean([1e-3] * 500) == pytest.approx(1e-3)
+
+    def test_long_huge_sweep_does_not_overflow(self):
+        assert geometric_mean([1e300] * 10) == pytest.approx(1e300, rel=1e-9)
+
+    def test_mixed_extremes(self):
+        values = [1e200, 1e-200] * 50
+        assert geometric_mean(values) == pytest.approx(1.0)
