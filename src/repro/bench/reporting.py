@@ -50,6 +50,22 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_matrix(
+    counts: Mapping[str, Mapping[str, int]],
+    row_label: str,
+    title: str = "",
+) -> str:
+    """Render nested ``{row: {column: count}}`` tallies as a table with
+    a stable column order and zeros filled in — the shape of the fault
+    campaign's per-protocol / per-phase verdict breakdowns."""
+    columns = sorted({c for row in counts.values() for c in row})
+    rows: List[Dict[str, Cell]] = [
+        {row_label: name, **{c: row.get(c, 0) for c in columns}}
+        for name, row in sorted(counts.items())
+    ]
+    return format_table(rows, title=title)
+
+
 def format_series(
     series: Mapping[str, Mapping[str, Number]],
     title: str = "",

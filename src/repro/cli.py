@@ -8,6 +8,8 @@ Commands:
   (``fig3``..``fig8``, ``table2``..``table4``);
 * ``perf`` — time the reference sweep serial vs parallel and write
   ``BENCH_sweep.json``;
+* ``faults`` — run a fault-injection campaign (swept crash points,
+  recovery + integrity oracle) and write ``FAULTS_campaign.json``;
 * ``area-table`` — print Table 3;
 * ``recovery-table`` — print Table 4;
 * ``protocols`` — list registered protocols.
@@ -253,6 +255,85 @@ def cmd_crash_drill(args: argparse.Namespace) -> int:
     return 0 if outcome.ok else 1
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Run a fault-injection campaign and write the JSON report."""
+    from pathlib import Path
+
+    from repro.bench.reporting import format_matrix
+    from repro.faults.campaign import default_fault_config, run_campaign
+    from repro.workloads.faultprofiles import FAULT_PROFILES
+
+    def split(values: List[str]) -> List[str]:
+        return [item for chunk in values for item in chunk.split(",") if item]
+
+    protocols = split(args.protocols)
+    known = protocol_names()
+    for protocol in protocols:
+        if protocol not in known:
+            raise SystemExit(
+                f"unknown protocol {protocol!r}; known: {known}"
+            )
+    workloads = split(args.workloads)
+    for workload in workloads:
+        if workload not in FAULT_PROFILES:
+            raise SystemExit(
+                f"unknown fault workload {workload!r}; "
+                f"known: {sorted(FAULT_PROFILES)}"
+            )
+    traces = [
+        profile_spec("faults", name, args.accesses, args.seed)
+        for name in workloads
+    ]
+    report = run_campaign(
+        protocols,
+        traces,
+        config=default_fault_config(),
+        crash_every=args.crash_every,
+        random_crashes=args.random_crashes,
+        phase_samples=args.phase_samples,
+        tamper_crashes=args.tamper_crashes,
+        tamper_target=args.tamper_target,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    summary = report.summary()
+    print(
+        format_matrix(
+            report.by_protocol(),
+            "protocol",
+            title=f"Fault campaign — {summary['cells']} cells, "
+            f"{summary['baselines']} baselines",
+        )
+    )
+    print()
+    print(format_matrix(report.by_phase(), "crash_phase"))
+    print()
+    occurrences = summary["phase_occurrences"]
+    if occurrences:
+        print(
+            "crash windows observed: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(occurrences.items()))
+        )
+    if args.output:
+        report.write_json(Path(args.output))
+        print(f"wrote {args.output}")
+    failed = False
+    for cell in report.silent_cells():
+        failed = True
+        print(
+            f"SILENT DIVERGENCE: {cell.protocol}/{cell.workload} "
+            f"{cell.trigger}: {cell.first_divergence}"
+        )
+    for cell in report.anomalies():
+        failed = True
+        print(
+            f"ANOMALY ({cell.anomaly}): {cell.protocol}/{cell.workload} "
+            f"{cell.trigger}: verdict={cell.verdict} "
+            f"{cell.recovery_detail}"
+        )
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="AMNT reproduction command-line interface"
@@ -351,6 +432,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     drill.add_argument("--records", type=int, default=150)
     drill.set_defaults(handler=cmd_crash_drill)
+
+    faults = commands.add_parser(
+        "faults",
+        help="fault-injection campaign: swept crash points + oracle",
+    )
+    faults.add_argument(
+        "--protocols",
+        nargs="+",
+        default=["leaf", "strict", "amnt", "amnt++"],
+        help="protocol names (space- or comma-separated)",
+    )
+    faults.add_argument(
+        "--workloads",
+        nargs="+",
+        default=["hotshift"],
+        help="fault workload profiles (see repro.workloads.faultprofiles)",
+    )
+    faults.add_argument("--accesses", type=int, default=5_000)
+    faults.add_argument(
+        "--crash-every",
+        type=int,
+        default=0,
+        help="crash at every Nth access (0 = none)",
+    )
+    faults.add_argument(
+        "--random-crashes",
+        type=int,
+        default=0,
+        help="seeded random crash points per (protocol, workload)",
+    )
+    faults.add_argument(
+        "--phase-samples",
+        type=int,
+        default=3,
+        help="crash ordinals sampled per observed phase window",
+    )
+    faults.add_argument(
+        "--tamper-crashes",
+        type=int,
+        default=2,
+        help="crash+tamper cells per (protocol, workload)",
+    )
+    faults.add_argument(
+        "--tamper-target", choices=["data", "counter"], default="data"
+    )
+    faults.add_argument("--seed", type=int, default=2024)
+    faults.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for the campaign grid (1 = in-process serial)",
+    )
+    faults.add_argument(
+        "--output",
+        default="FAULTS_campaign.json",
+        help="JSON report path ('' to skip writing)",
+    )
+    faults.set_defaults(handler=cmd_faults)
     return parser
 
 

@@ -142,6 +142,12 @@ class AMNTProtocol(MetadataPersistencePolicy):
                 cycles += mee.persist_tree_node(node)
             self._ctr_subtree_misses.value += 1
 
+        # The write's own persists are complete here; everything below
+        # (history tracking, possible subtree movement) is separately
+        # crashable maintenance, so injected failures in that tail must
+        # find the write already durable.
+        mee.commit_persist_group()
+
         # Hot-region tracking runs off the critical path (§4.2); its
         # buffer update costs no cycles here, only the rare movement
         # traffic does.
@@ -177,6 +183,7 @@ class AMNTProtocol(MetadataPersistencePolicy):
         mee = self.mee
         cycles = 0
         old = self.subtree_node()
+        self.fire_phase("amnt_movement")  # relocation begins
         if old is not None:
             # 1. Dirty-bit scan: under AMNT only in-subtree nodes can be
             #    dirty, so the scan yields exactly the lines to flush.
@@ -184,6 +191,7 @@ class AMNTProtocol(MetadataPersistencePolicy):
                 lambda level, index: self._node_in_subtree(level, index, old)
             )
             for level, index in dirty:
+                self.fire_phase("amnt_movement")  # mid-flush window
                 cycles += mee.persist_tree_node((level, index))
                 self.stats.add("movement_flushes")
             # 2. Persist the old subtree root's value and the path from
@@ -197,6 +205,10 @@ class AMNTProtocol(MetadataPersistencePolicy):
                 # every counter update), so persisting the line is the
                 # whole reconciliation.
                 cycles += mee.persist_tree_node(node)
+        # Last crash window before the (atomic) register retarget: the
+        # old subtree and its upper path are fully persisted, but the NV
+        # register still anchors the old region.
+        self.fire_phase("amnt_movement")
         self._current_region = new_region
         new_node = self.subtree_node()
         if mee.functional:

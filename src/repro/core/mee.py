@@ -142,6 +142,11 @@ class MemoryEncryptionEngine:
         #: shadow table) here; the engine's own write paths are wrapped
         #: by attach_wear_tracking.
         self.wear_tracker = None
+        #: Optional crash scheduler (repro.faults.triggers). When set,
+        #: the engine announces phase boundaries to it and brackets each
+        #: data write in a persist group so injected power failures land
+        #: only at points real ADR hardware could expose.
+        self.fault_probe = None
         if functional:
             self.engine = engine if engine is not None else RealCryptoEngine()
             self.tree = BonsaiMerkleTree(
@@ -217,6 +222,13 @@ class MemoryEncryptionEngine:
     def _writeback_metadata(self, key: tuple) -> int:
         """Lazy writeback of a dirty metadata line on eviction (posted:
         it drains from the write queue off the critical path)."""
+        probe = self.fault_probe
+        if probe is not None:
+            # Posted writebacks can be lost to a power cut: outside a
+            # persist group the failure raises here, before the backend
+            # sync below runs, so the evicted line's value dies with the
+            # write queue — a genuinely torn eviction.
+            probe.on_phase("mdcache_eviction")
         region = _region_of_key(key)
         self.nvm.write_access(region)
         cycles = self._posted_write_cycles
@@ -279,6 +291,30 @@ class MemoryEncryptionEngine:
         if self.functional:
             self.tree.persist_node(node)
         return cycles
+
+    # ------------------------------------------------------------------
+    # fault-injection instrumentation
+    # ------------------------------------------------------------------
+
+    def fire_phase(self, name: str) -> None:
+        """Announce a protocol-phase boundary to an attached fault
+        probe (no-op when none is attached)."""
+        probe = self.fault_probe
+        if probe is not None:
+            probe.on_phase(name)
+
+    def commit_persist_group(self) -> None:
+        """Mark the in-flight write's persist group durable early.
+
+        The engine commits the group itself at the end of
+        :meth:`write_block`; protocols whose ``on_data_write`` continues
+        with separately crashable maintenance after the write's own
+        persists are complete (AMNT's movement) call this first, so
+        crashes injected into that tail find the write already durable.
+        """
+        probe = self.fault_probe
+        if probe is not None:
+            probe.commit_group()
 
     # ------------------------------------------------------------------
     # functional content helpers
@@ -393,6 +429,15 @@ class MemoryEncryptionEngine:
         counter_index = self._page_index(paddr)
         block_base = self.address_space.block_base(paddr)
         self._ctr_data_writes.value += 1
+        probe = self.fault_probe
+        if probe is not None:
+            # The functional tree updates the NV root register atomically
+            # with the counter bump, so a crash landing between that bump
+            # and the protocol's persists would fabricate a torn state no
+            # ADR machine can produce. Phase triggers inside the group are
+            # therefore deferred to the commit below (the write completes
+            # durably); triggers outside any group raise immediately.
+            probe.begin_group()
 
         # 1. read-modify-write the counter.
         ctr_key = self._counter_key(counter_index)
@@ -430,6 +475,8 @@ class MemoryEncryptionEngine:
         cycles += self.protocol.on_data_write(
             counter_index, block_index, path, fenced=fenced
         )
+        if probe is not None:
+            probe.commit_group()
         return cycles
 
     def _functional_counter_bump_and_store(

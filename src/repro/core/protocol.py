@@ -66,6 +66,11 @@ class MetadataPersistencePolicy(ABC):
     def _on_bind(self) -> None:
         """Subclass hook run after ``self.mee`` is available."""
 
+    def fire_phase(self, name: str) -> None:
+        """Report a crash-window boundary inside this protocol to the
+        engine's fault probe (no-op when none is attached)."""
+        self.mee.fire_phase(name)
+
     # ------------------------------------------------------------------
     # write path
     # ------------------------------------------------------------------

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.config import SystemConfig
 from repro.core.mee import MemoryEncryptionEngine
 from repro.core.protocol import MetadataPersistencePolicy, make_protocol
-from repro.errors import RecoveryError
+from repro.errors import FaultInjectionError
 from repro.mem.bandwidth import RecoveryBandwidthModel
 from repro.util.units import TB
 
@@ -46,9 +46,10 @@ class CrashInjector:
 
     def __init__(self, mee: MemoryEncryptionEngine) -> None:
         if not mee.functional:
-            raise RecoveryError(
+            raise FaultInjectionError(
                 "crash injection requires a functional-mode engine "
-                "(there is no persisted image to recover otherwise)"
+                "(there is no persisted image to recover otherwise); "
+                "build it with functional=True"
             )
         self.mee = mee
 

@@ -63,3 +63,45 @@ class CrashConsistencyError(SecurityError):
 
 class RecoveryError(ReproError):
     """The recovery procedure itself could not run to completion."""
+
+
+class FaultInjectionError(RecoveryError):
+    """Fault injection was requested on an engine that cannot host it.
+
+    Raised by :class:`~repro.core.recovery.CrashInjector` and the fault
+    campaign machinery when pointed at a timing-only engine: without a
+    functional persisted image there is nothing for recovery or the
+    integrity oracle to examine. Subclasses :class:`RecoveryError` so
+    callers that treated the old generic error keep working.
+    """
+
+
+class PowerFailure(ReproError):
+    """A simulated power loss fired by the fault-injection scheduler.
+
+    This is control flow, not a defect: the crash scheduler raises it
+    from an instrumentation hook to cut the current access short, and
+    the fault driver catches it at the replay loop. It records where
+    the crash landed so the campaign can attribute the cell.
+    """
+
+    def __init__(
+        self,
+        phase: str = "access",
+        occurrence: int = 0,
+        access_index: int = -1,
+        write_committed: bool = False,
+    ) -> None:
+        super().__init__(
+            f"power failure in phase {phase!r} "
+            f"(occurrence {occurrence}, access {access_index})"
+        )
+        #: Which crash window fired (see repro.faults.triggers).
+        self.phase = phase
+        #: 1-based count of that phase at the moment of the crash.
+        self.occurrence = occurrence
+        #: Trace position of the access in flight, -1 if none.
+        self.access_index = access_index
+        #: True when the in-flight write's persist group had already
+        #: drained (the write is durable despite the crash).
+        self.write_committed = write_committed

@@ -1,0 +1,54 @@
+"""Fault-injection campaigns: crash scheduling, integrity oracle,
+campaign planning/aggregation (see docs/FAULTS.md)."""
+
+from repro.faults.campaign import (
+    VERDICT_BASELINE,
+    CampaignReport,
+    FaultCampaignSpec,
+    FaultCellOutcome,
+    default_fault_config,
+    plan_cells,
+    run_campaign,
+    run_fault_cell,
+)
+from repro.faults.oracle import (
+    VERDICT_DETECTED,
+    VERDICT_RECOVERED,
+    VERDICT_SILENT,
+    OracleReport,
+    run_oracle,
+)
+from repro.faults.triggers import (
+    KNOWN_PHASES,
+    PHASE_ACCESS,
+    PHASE_AMNT_MOVEMENT,
+    PHASE_AMNTPP_RESTRUCTURE,
+    PHASE_MDCACHE_EVICTION,
+    PHASE_STRICT_WRITE_THROUGH,
+    CrashScheduler,
+    CrashTrigger,
+)
+
+__all__ = [
+    "CampaignReport",
+    "CrashScheduler",
+    "CrashTrigger",
+    "FaultCampaignSpec",
+    "FaultCellOutcome",
+    "KNOWN_PHASES",
+    "OracleReport",
+    "PHASE_ACCESS",
+    "PHASE_AMNT_MOVEMENT",
+    "PHASE_AMNTPP_RESTRUCTURE",
+    "PHASE_MDCACHE_EVICTION",
+    "PHASE_STRICT_WRITE_THROUGH",
+    "VERDICT_BASELINE",
+    "VERDICT_DETECTED",
+    "VERDICT_RECOVERED",
+    "VERDICT_SILENT",
+    "default_fault_config",
+    "plan_cells",
+    "run_campaign",
+    "run_fault_cell",
+    "run_oracle",
+]

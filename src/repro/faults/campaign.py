@@ -1,0 +1,473 @@
+"""Fault-injection campaigns: plan, fan out, aggregate.
+
+A campaign turns "this protocol recovers from a crash" into a swept,
+counted property. For every (protocol, workload) pair it first runs a
+*probe* replay with an unarmed scheduler — a full functional run that
+both sanity-checks the engine (reads are verified against the golden
+shadow as they happen) and counts how many of each crash window the
+pair exposes. From those counts it plans the crash cells:
+
+* every-Nth-access triggers (``crash_every``),
+* seeded random access triggers (``random_crashes``),
+* phase-boundary triggers at ordinals spread across each observed
+  phase's occurrences (``phase_samples`` per phase),
+* tamper cells: access-triggered crashes followed by a seeded bit flip
+  in the persisted NVM image, which the recovery/readback must detect.
+
+Cells are picklable :class:`FaultCampaignSpec` values fanned over the
+existing :class:`~repro.sim.parallel.ParallelSweepRunner`; every cell
+is a pure function of (config, spec), so serial and parallel campaigns
+are bit-identical. Results aggregate into a :class:`CampaignReport`
+with per-protocol and per-phase verdict breakdowns and a JSON artifact
+(written through :mod:`repro.bench.export`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import MetadataCacheConfig, SystemConfig, default_config
+from repro.errors import FaultInjectionError
+from repro.faults.oracle import (
+    VERDICT_RECOVERED,
+    VERDICT_SILENT,
+    run_oracle,
+)
+from repro.faults.triggers import (
+    PHASE_AMNTPP_RESTRUCTURE,
+    CrashScheduler,
+    CrashTrigger,
+)
+from repro.mem.backend import MetadataRegion
+from repro.sim.engine import drive_memory_boundary
+from repro.sim.machine import build_machine
+from repro.sim.parallel import ParallelSweepRunner
+from repro.util.rng import Seed, make_rng
+from repro.util.units import KB, MB
+from repro.workloads.registry import TraceSpec, materialize_trace
+
+#: Verdict label for probe (unarmed) cells.
+VERDICT_BASELINE = "baseline"
+
+#: Tamper targets: flip a bit in a persisted data block / counter line.
+TAMPER_TARGETS = ("data", "counter")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultCampaignSpec:
+    """One picklable campaign cell: who crashes, when, and how.
+
+    ``trigger=None`` is the probe form: replay to completion, verify
+    reads, count phase occurrences. ``config`` overrides the campaign
+    config per cell (mirrors :class:`~repro.sim.parallel.SweepCell`).
+    """
+
+    protocol: str
+    trace: TraceSpec
+    trigger: Optional[CrashTrigger] = None
+    seed: Seed = 0
+    #: "" for a clean crash, else a TAMPER_TARGETS entry.
+    tamper: str = ""
+    churn_interval: int = 1024
+    config: Optional[SystemConfig] = None
+
+
+@dataclass(frozen=True, slots=True)
+class FaultCellOutcome:
+    """Flat, picklable result of one campaign cell."""
+
+    protocol: str
+    workload: str
+    trigger: str
+    seed: str
+    tamper: str
+    verdict: str
+    crash_phase: str = ""
+    crash_occurrence: int = 0
+    crash_access_index: int = -1
+    write_committed: bool = False
+    accesses_completed: int = 0
+    recovery_ok: bool = False
+    recovery_detail: str = ""
+    nodes_recomputed: int = 0
+    blocks_checked: int = 0
+    blocks_recovered: int = 0
+    blocks_detected: int = 0
+    blocks_diverged: int = 0
+    pages_verified: int = 0
+    pages_inconsistent: int = 0
+    in_flight_outcome: str = "none"
+    tamper_detail: str = ""
+    crash_consistent: bool = True
+    #: Phase-occurrence counts observed up to the crash (or the whole
+    #: run for probes): (("mdcache_eviction", 12), ...).
+    phase_counts: Tuple[Tuple[str, int], ...] = ()
+    anomaly: str = ""
+    first_divergence: str = ""
+
+    @property
+    def phase_label(self) -> str:
+        """Reporting key: the crash window this cell landed in."""
+        return self.crash_phase or "none"
+
+
+def default_fault_config(
+    capacity_bytes: int = 64 * MB,
+    metadata_cache_bytes: int = 8 * KB,
+) -> SystemConfig:
+    """Campaign default: a small machine under eviction pressure.
+
+    The paper-sized 64 kB metadata cache never evicts on a
+    campaign-sized trace, which would leave the ``mdcache_eviction``
+    crash window unexercised; an 8 kB cache restores the pressure.
+    """
+    config = default_config(capacity_bytes=capacity_bytes)
+    return replace(
+        config,
+        metadata_cache=MetadataCacheConfig(capacity_bytes=metadata_cache_bytes),
+    )
+
+
+# ----------------------------------------------------------------------
+# one cell
+# ----------------------------------------------------------------------
+
+
+def run_fault_cell(
+    spec: FaultCampaignSpec, config: SystemConfig
+) -> FaultCellOutcome:
+    """Build, replay, crash, (tamper,) recover, audit — one cell."""
+    cell_config = spec.config if spec.config is not None else config
+    trace = materialize_trace(spec.trace)
+    machine = build_machine(
+        cell_config, spec.protocol, functional=True, seed=spec.seed
+    )
+    mee = machine.mee
+    if not mee.functional:
+        raise FaultInjectionError(
+            "fault campaigns require functional-mode machines"
+        )
+    scheduler = CrashScheduler(spec.trigger)
+    mee.fault_probe = scheduler
+    restructurer = machine.mm.restructurer
+    if restructurer is not None:
+        restructurer.phase_hook = lambda: scheduler.on_phase(
+            PHASE_AMNTPP_RESTRUCTURE
+        )
+    try:
+        record = drive_memory_boundary(
+            machine,
+            trace,
+            seed=spec.seed,
+            scheduler=scheduler,
+            churn_interval=spec.churn_interval,
+        )
+    finally:
+        # The oracle's own reads must not re-arm the bomb.
+        mee.fault_probe = None
+        if restructurer is not None:
+            restructurer.phase_hook = None
+
+    common = dict(
+        protocol=spec.protocol,
+        workload=spec.trace.label(),
+        trigger=spec.trigger.describe() if spec.trigger else "probe",
+        seed=str(spec.seed),
+        tamper=spec.tamper,
+        accesses_completed=record.accesses_completed,
+        crash_consistent=mee.protocol.is_crash_consistent,
+        phase_counts=tuple(sorted(scheduler.phase_counts.items())),
+    )
+
+    if not record.crashed:
+        anomaly = "" if spec.trigger is None else "trigger-not-fired"
+        return FaultCellOutcome(
+            verdict=VERDICT_BASELINE, anomaly=anomaly, **common
+        )
+
+    mee.crash()
+    tamper_detail = ""
+    if spec.tamper:
+        tamper_detail = _tamper(mee, record, spec)
+    report = run_oracle(mee, record)
+
+    anomaly = ""
+    if spec.tamper and tamper_detail and report.verdict == VERDICT_RECOVERED:
+        anomaly = "tamper-missed"
+    elif (
+        not spec.tamper
+        and mee.protocol.is_crash_consistent
+        and report.verdict != VERDICT_RECOVERED
+    ):
+        anomaly = "clean-cell-not-recovered"
+
+    return FaultCellOutcome(
+        verdict=report.verdict,
+        crash_phase=record.crash_phase,
+        crash_occurrence=record.crash_occurrence,
+        crash_access_index=record.crash_access_index,
+        write_committed=record.crash_write_committed,
+        recovery_ok=report.recovery_ok,
+        recovery_detail=report.recovery_detail,
+        nodes_recomputed=report.nodes_recomputed,
+        blocks_checked=report.blocks_checked,
+        blocks_recovered=report.blocks_recovered,
+        blocks_detected=report.blocks_detected,
+        blocks_diverged=report.blocks_diverged,
+        pages_verified=report.pages_verified,
+        pages_inconsistent=report.pages_inconsistent,
+        in_flight_outcome=report.in_flight_outcome,
+        tamper_detail=tamper_detail,
+        anomaly=anomaly,
+        first_divergence=report.first_divergence,
+        **common,
+    )
+
+
+def _tamper(mee, record, spec: FaultCampaignSpec) -> str:
+    """Flip one seeded bit in the persisted NVM image; returns a
+    description, or "" when the image holds nothing to tamper with."""
+    rng = make_rng(
+        f"{spec.seed}/tamper/{spec.protocol}/{spec.trace.label()}"
+        f"/{spec.trigger.describe() if spec.trigger else 'probe'}"
+    )
+    backend = mee.nvm.backend
+    block_bytes = mee.config.security.block_bytes
+    if spec.tamper == "counter":
+        pages = sorted(
+            {mee.address_space.page_index(base) for base in record.golden}
+        )
+        persisted = [
+            index
+            for index in pages
+            if backend.contains(MetadataRegion.COUNTERS, index)
+        ]
+        if persisted:
+            index = rng.choice(persisted)
+            raw = bytearray(
+                backend.read(MetadataRegion.COUNTERS, index, block_bytes)
+            )
+            bit = rng.randrange(len(raw) * 8)
+            raw[bit // 8] ^= 1 << (bit % 8)
+            backend.write(MetadataRegion.COUNTERS, index, bytes(raw))
+            return f"counter[{index}] bit {bit}"
+        return ""
+    written = sorted(
+        base
+        for base in record.golden
+        if backend.contains(
+            MetadataRegion.DATA, mee.address_space.block_index(base)
+        )
+    )
+    if not written:
+        return ""
+    base = rng.choice(written)
+    block = mee.address_space.block_index(base)
+    raw = bytearray(backend.read(MetadataRegion.DATA, block, block_bytes))
+    bit = rng.randrange(len(raw) * 8)
+    raw[bit // 8] ^= 1 << (bit % 8)
+    backend.write(MetadataRegion.DATA, block, bytes(raw))
+    return f"data[{block:#x}] bit {bit}"
+
+
+def _fault_pool_entry(
+    payload: Tuple[FaultCampaignSpec, SystemConfig]
+) -> FaultCellOutcome:
+    """Top-level pool target (must be importable for spawn contexts)."""
+    spec, config = payload
+    return run_fault_cell(spec, config)
+
+
+# ----------------------------------------------------------------------
+# planning and aggregation
+# ----------------------------------------------------------------------
+
+
+def spread_ordinals(count: int, samples: int) -> List[int]:
+    """Up to ``samples`` 1-based ordinals spread evenly over
+    ``count`` occurrences, always including the first and last."""
+    if count <= 0 or samples <= 0:
+        return []
+    if count <= samples:
+        return list(range(1, count + 1))
+    if samples == 1:
+        return [(count + 1) // 2]
+    return sorted(
+        {round(i * (count - 1) / (samples - 1)) + 1 for i in range(samples)}
+    )
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated campaign outcome."""
+
+    parameters: Dict[str, Any]
+    baselines: List[FaultCellOutcome]
+    cells: List[FaultCellOutcome]
+
+    def by_protocol(self) -> Dict[str, Dict[str, int]]:
+        return self._matrix(lambda cell: cell.protocol)
+
+    def by_phase(self) -> Dict[str, Dict[str, int]]:
+        return self._matrix(lambda cell: cell.phase_label)
+
+    def _matrix(self, key) -> Dict[str, Dict[str, int]]:
+        counts: Dict[str, Dict[str, int]] = {}
+        for cell in self.cells:
+            row = counts.setdefault(key(cell), {})
+            row[cell.verdict] = row.get(cell.verdict, 0) + 1
+        return counts
+
+    def phase_occurrences(self) -> Dict[str, int]:
+        """Total crash-window occurrences observed by the probes."""
+        totals: Dict[str, int] = {}
+        for probe in self.baselines:
+            for phase, count in probe.phase_counts:
+                totals[phase] = totals.get(phase, 0) + count
+        return totals
+
+    def silent_cells(self) -> List[FaultCellOutcome]:
+        return [c for c in self.cells if c.verdict == VERDICT_SILENT]
+
+    def anomalies(self) -> List[FaultCellOutcome]:
+        return [
+            c for c in self.baselines + self.cells if c.anomaly
+        ]
+
+    def summary(self) -> Dict[str, Any]:
+        verdicts: Dict[str, int] = {}
+        for cell in self.cells:
+            verdicts[cell.verdict] = verdicts.get(cell.verdict, 0) + 1
+        return {
+            "cells": len(self.cells),
+            "baselines": len(self.baselines),
+            "verdicts": verdicts,
+            "by_protocol": self.by_protocol(),
+            "by_phase": self.by_phase(),
+            "phase_occurrences": self.phase_occurrences(),
+            "silent_divergence": len(self.silent_cells()),
+            "anomalies": len(self.anomalies()),
+        }
+
+    def write_json(self, path) -> None:
+        from repro.bench.export import export_experiment
+
+        export_experiment(
+            "fault-campaign",
+            {
+                "summary": self.summary(),
+                "baselines": list(self.baselines),
+                "cells": list(self.cells),
+            },
+            path,
+            parameters=self.parameters,
+        )
+
+
+def plan_cells(
+    baseline: FaultCellOutcome,
+    probe_spec: FaultCampaignSpec,
+    crash_every: int = 0,
+    random_crashes: int = 0,
+    phase_samples: int = 3,
+    tamper_crashes: int = 0,
+    tamper_target: str = "data",
+) -> List[FaultCampaignSpec]:
+    """Crash cells for one (protocol, workload), from its probe run."""
+    total = baseline.accesses_completed
+    specs: List[FaultCampaignSpec] = []
+    points = set()
+    if crash_every > 0:
+        points.update(range(crash_every, total, crash_every))
+    if random_crashes > 0:
+        rng = make_rng(
+            f"{probe_spec.seed}/faults/plan/{probe_spec.protocol}"
+            f"/{probe_spec.trace.label()}"
+        )
+        candidates = range(1, max(2, total))
+        picks = min(random_crashes, len(candidates))
+        points.update(rng.sample(candidates, picks))
+    for at in sorted(points):
+        specs.append(replace(probe_spec, trigger=CrashTrigger("access", at)))
+    for phase, count in baseline.phase_counts:
+        for ordinal in spread_ordinals(count, phase_samples):
+            specs.append(
+                replace(
+                    probe_spec,
+                    trigger=CrashTrigger("phase", ordinal, phase),
+                )
+            )
+    for i in range(tamper_crashes):
+        at = max(1, total * (i + 1) // (tamper_crashes + 1))
+        specs.append(
+            replace(
+                probe_spec,
+                trigger=CrashTrigger("access", at),
+                tamper=tamper_target,
+            )
+        )
+    return specs
+
+
+def run_campaign(
+    protocols: Sequence[str],
+    traces: Sequence[TraceSpec],
+    config: Optional[SystemConfig] = None,
+    crash_every: int = 0,
+    random_crashes: int = 0,
+    phase_samples: int = 3,
+    tamper_crashes: int = 0,
+    tamper_target: str = "data",
+    seed: Seed = 0,
+    churn_interval: int = 1024,
+    workers: Optional[int] = 1,
+) -> CampaignReport:
+    """Probe, plan, and sweep the full campaign grid."""
+    if config is None:
+        config = default_fault_config()
+    runner = ParallelSweepRunner(workers=workers)
+    probe_specs = [
+        FaultCampaignSpec(
+            protocol=protocol,
+            trace=trace,
+            trigger=None,
+            seed=seed,
+            churn_interval=churn_interval,
+        )
+        for protocol in protocols
+        for trace in traces
+    ]
+    baselines = runner.map(
+        _fault_pool_entry, [(spec, config) for spec in probe_specs]
+    )
+    specs: List[FaultCampaignSpec] = []
+    for baseline, probe_spec in zip(baselines, probe_specs):
+        specs.extend(
+            plan_cells(
+                baseline,
+                probe_spec,
+                crash_every=crash_every,
+                random_crashes=random_crashes,
+                phase_samples=phase_samples,
+                tamper_crashes=tamper_crashes,
+                tamper_target=tamper_target,
+            )
+        )
+    cells = runner.map(_fault_pool_entry, [(spec, config) for spec in specs])
+    parameters = {
+        "protocols": list(protocols),
+        "workloads": [trace.label() for trace in traces],
+        "crash_every": crash_every,
+        "random_crashes": random_crashes,
+        "phase_samples": phase_samples,
+        "tamper_crashes": tamper_crashes,
+        "tamper_target": tamper_target,
+        "seed": seed,
+        "churn_interval": churn_interval,
+        "capacity_bytes": config.pcm.capacity_bytes,
+        "metadata_cache_bytes": config.metadata_cache.capacity_bytes,
+    }
+    return CampaignReport(
+        parameters=parameters, baselines=baselines, cells=cells
+    )

@@ -1,0 +1,161 @@
+"""Crash triggers and the crash scheduler.
+
+The scheduler is the campaign's armed bomb: wired onto a live machine
+(``mee.fault_probe`` plus, for modified-OS runs, the restructurer's
+``phase_hook``), it watches the replay and raises
+:class:`~repro.errors.PowerFailure` when its trigger condition is met.
+
+Two trigger kinds exist:
+
+* ``"access"`` — fire at the start of trace access ``at`` (the
+  every-Nth and seeded-random sweeps are built from these);
+* ``"phase"`` — fire at the ``at``-th occurrence of a named
+  instrumentation phase, landing the crash *inside* a protocol
+  operation where torn metadata is actually possible.
+
+Crash-atomicity model. The functional tree updates the NV root register
+atomically with every counter bump, so a failure raised between a
+write's counter bump and its protocol persists would fabricate torn
+states no ADR machine can produce (the write queue drains on power
+loss). The engine therefore brackets each data write in a *persist
+group*: phase triggers that fire inside an uncommitted group are
+deferred and raise at the group's commit point with
+``write_committed=True`` (the write is durable; the crash lands at the
+access boundary the hardware would expose), while triggers outside any
+group — read-path cache evictions, AMNT movement after the early
+commit, AMNT++ restructuring, access boundaries — raise immediately
+and produce genuinely torn volatile state.
+
+An *unarmed* scheduler (``trigger=None``) never raises; it just counts
+phase occurrences, which is how the campaign's probe pass discovers how
+many crash windows each (protocol, workload) pair exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigError, PowerFailure
+
+#: Phase names fired by the instrumented engine and protocols. The
+#: hook sites use string literals (core modules must not import this
+#: package); these constants are the catalogue the campaign plans from.
+PHASE_ACCESS = "access"
+PHASE_MDCACHE_EVICTION = "mdcache_eviction"
+PHASE_AMNT_MOVEMENT = "amnt_movement"
+PHASE_STRICT_WRITE_THROUGH = "strict_write_through"
+PHASE_AMNTPP_RESTRUCTURE = "amntpp_restructure"
+
+KNOWN_PHASES: Tuple[str, ...] = (
+    PHASE_MDCACHE_EVICTION,
+    PHASE_AMNT_MOVEMENT,
+    PHASE_STRICT_WRITE_THROUGH,
+    PHASE_AMNTPP_RESTRUCTURE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class CrashTrigger:
+    """Picklable description of when the power fails.
+
+    ``kind`` is ``"access"`` (``at`` = 0-based trace position) or
+    ``"phase"`` (``at`` = 1-based occurrence of ``phase``).
+    """
+
+    kind: str
+    at: int
+    phase: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("access", "phase"):
+            raise ConfigError(f"unknown trigger kind {self.kind!r}")
+        if self.kind == "phase" and not self.phase:
+            raise ConfigError("phase triggers need a phase name")
+        if self.kind == "access" and self.at < 0:
+            raise ConfigError("access triggers need a position >= 0")
+        if self.kind == "phase" and self.at < 1:
+            raise ConfigError("phase occurrences are 1-based")
+
+    def describe(self) -> str:
+        if self.kind == "access":
+            return f"access@{self.at}"
+        return f"{self.phase}@{self.at}"
+
+
+class CrashScheduler:
+    """Counts phases, arms a trigger, raises the power failure.
+
+    One scheduler drives one replay; it is not reusable across runs
+    (the phase counters are the run's fingerprint and are read by the
+    campaign afterwards).
+    """
+
+    def __init__(self, trigger: Optional[CrashTrigger] = None) -> None:
+        self.trigger = trigger
+        self.access_index = -1
+        self.phase_counts: Dict[str, int] = {}
+        self.fired: Optional[PowerFailure] = None
+        self._in_group = False
+        self._group_committed = False
+        self._pending: Optional[Tuple[str, int]] = None
+
+    # -- driver callbacks ----------------------------------------------
+
+    def on_access(self, index: int) -> None:
+        """Called by the replay driver at the start of each access."""
+        self.access_index = index
+        self._in_group = False
+        self._group_committed = False
+        trigger = self.trigger
+        if (
+            trigger is not None
+            and trigger.kind == "access"
+            and index == trigger.at
+        ):
+            self._raise(PHASE_ACCESS, index)
+
+    # -- engine/protocol callbacks -------------------------------------
+
+    def on_phase(self, name: str) -> None:
+        """Called from instrumentation hooks inside the engine."""
+        count = self.phase_counts.get(name, 0) + 1
+        self.phase_counts[name] = count
+        trigger = self.trigger
+        if (
+            trigger is not None
+            and trigger.kind == "phase"
+            and trigger.phase == name
+            and count == trigger.at
+        ):
+            if self._in_group and not self._group_committed:
+                self._pending = (name, count)
+            else:
+                self._raise(name, count)
+
+    def begin_group(self) -> None:
+        """A data write's persist group opens (engine write path)."""
+        self._in_group = True
+        self._group_committed = False
+
+    def commit_group(self) -> None:
+        """The in-flight write's persists are durable (ADR drain
+        point); a deferred crash raises here."""
+        self._group_committed = True
+        self._in_group = False
+        if self._pending is not None:
+            phase, occurrence = self._pending
+            self._pending = None
+            self._raise(phase, occurrence)
+
+    # -- internals ------------------------------------------------------
+
+    def _raise(self, phase: str, occurrence: int) -> None:
+        failure = PowerFailure(
+            phase=phase,
+            occurrence=occurrence,
+            access_index=self.access_index,
+            write_committed=self._group_committed,
+        )
+        self.fired = failure
+        raise failure

@@ -45,6 +45,11 @@ class AMNTPlusPlusRestructurer:
     reclaim_interval: int = 64
     _frees_since_restructure: int = 0
     last_biased_region: Optional[int] = None
+    #: Optional fault-injection callback fired at the crash windows of
+    #: the restructuring pass (see repro.faults). The pass only mutates
+    #: volatile OS state, but campaigns still crash here to prove the
+    #: secure-memory image survives mid-migration power loss.
+    phase_hook: Optional[Callable[[], None]] = None
 
     def on_free(self, allocator: BuddyAllocator) -> bool:
         """Hook called by the memory manager after each ``free_pages``.
@@ -66,6 +71,8 @@ class AMNTPlusPlusRestructurer:
         well as the shared ``instructions`` counter, so the modified
         OS's extra work is separable.
         """
+        if self.phase_hook is not None:
+            self.phase_hook()  # reclamation pass begins
         region_chunks: Dict[int, int] = {}
         scan_steps = 0
         for order, pfns in enumerate(allocator.free_area):
@@ -81,6 +88,8 @@ class AMNTPlusPlusRestructurer:
         best_region = min(
             region_chunks, key=lambda region: (-region_chunks[region], region)
         )
+        if self.phase_hook is not None:
+            self.phase_hook()  # mid-pass: target chosen, lists not yet rebuilt
         moves = 0
         for order, pfns in enumerate(allocator.free_area):
             biased: Deque[int] = deque()

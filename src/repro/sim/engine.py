@@ -20,8 +20,10 @@ scheme.
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
+from repro.errors import PowerFailure, SimulationError
 from repro.sim.machine import Machine
 from repro.sim.results import SimulationResult
 from repro.util.rng import Seed, make_rng
@@ -110,3 +112,123 @@ def simulate(
         protocol_stats=mee.protocol.stats.snapshot(),
         mee_stats=mee.stats.snapshot(),
     )
+
+
+# ----------------------------------------------------------------------
+# memory-boundary replay (the fault-injection campaign's driver)
+# ----------------------------------------------------------------------
+
+
+def replay_payload(position: int, block_bytes: int = 64) -> bytes:
+    """Deterministic plaintext for the write at trace ``position``.
+
+    A pure function of the position so the golden shadow copy and any
+    re-derivation of it (e.g. in the oracle's in-flight check) agree
+    without shipping payloads around.
+    """
+    return position.to_bytes(8, "little") * (block_bytes // 8)
+
+
+@dataclass
+class ReplayRecord:
+    """What one memory-boundary replay observed."""
+
+    accesses_completed: int = 0
+    crashed: bool = False
+    crash_phase: str = ""
+    crash_occurrence: int = 0
+    crash_access_index: int = -1
+    crash_write_committed: bool = False
+    #: Golden shadow copy: physical block base -> last durable payload.
+    golden: Dict[int, bytes] = field(default_factory=dict)
+    #: The write in flight at the crash, if its persist group had not
+    #: drained: (block base, previous payload or None, attempted payload).
+    in_flight: Optional[Tuple[int, Optional[bytes], bytes]] = None
+
+
+def drive_memory_boundary(
+    machine: Machine,
+    trace: Trace,
+    seed: Seed = 0,
+    scheduler=None,
+    churn_interval: int = 1024,
+    churn_bursts: int = 2,
+    churn_pages_per_burst: int = 32,
+    verify_reads: bool = True,
+) -> ReplayRecord:
+    """Replay ``trace`` straight at the memory boundary (no LLC).
+
+    Every reference goes to the MEE as if it had missed the data cache.
+    That is deliberate: the fault campaign wants maximal persistence-
+    protocol activity per access, and — unlike LLC victim writebacks —
+    writes driven here carry payloads, so the golden shadow copy is
+    exact. Reads are checked against the shadow as they happen (any
+    pre-crash divergence is an engine bug, not a finding).
+
+    ``scheduler`` is a crash scheduler (repro.faults.triggers); its
+    :class:`~repro.errors.PowerFailure` is caught here and summarized
+    in the returned :class:`ReplayRecord`. With ``scheduler=None`` (or
+    an unarmed one) the replay runs to completion.
+    """
+    mee = machine.mee
+    mm = machine.mm
+    functional = mee.functional
+    block_bytes = machine.config.security.block_bytes
+    zero_block = bytes(block_bytes)
+    rng = make_rng(f"{seed}/faults/{trace.name}")
+    record = ReplayRecord()
+    golden = record.golden
+
+    translate = mm.translate
+    block_base_of = mee.address_space.block_base
+    write_block = mee.write_block
+    churn = mm.churn
+
+    position = 0
+    pending: Optional[Tuple[int, Optional[bytes], bytes]] = None
+    try:
+        for access in trace.accesses:
+            if scheduler is not None:
+                scheduler.on_access(position)
+            paddr = translate(access.pid, access.vaddr)
+            base = block_base_of(paddr)
+            if access.is_write:
+                if functional:
+                    payload = replay_payload(position, block_bytes)
+                    pending = (base, golden.get(base), payload)
+                    write_block(base, data=payload, fenced=access.flush)
+                    golden[base] = payload
+                    pending = None
+                else:
+                    write_block(base, fenced=access.flush)
+            elif functional:
+                data = mee.read_block_data(base)
+                if verify_reads and data != golden.get(base, zero_block):
+                    raise SimulationError(
+                        f"pre-crash readback diverged at block {base:#x} "
+                        f"(access {position} of {trace.name})"
+                    )
+            else:
+                mee.read_block(base)
+            position += 1
+            record.accesses_completed = position
+            if churn_interval and position % churn_interval == 0:
+                churn(
+                    rng,
+                    bursts=churn_bursts,
+                    pages_per_burst=churn_pages_per_burst,
+                )
+    except PowerFailure as failure:
+        record.crashed = True
+        record.crash_phase = failure.phase
+        record.crash_occurrence = failure.occurrence
+        record.crash_access_index = failure.access_index
+        record.crash_write_committed = failure.write_committed
+        if pending is not None:
+            if failure.write_committed:
+                # The group drained before the lights went out: the
+                # interrupted access's write is durable after all.
+                golden[pending[0]] = pending[2]
+            else:
+                record.in_flight = pending
+    return record

@@ -107,24 +107,37 @@ class ParallelSweepRunner:
             return multiprocessing.get_context("fork")
         return multiprocessing.get_context()
 
-    def run(
-        self, cells: Sequence[SweepCell], config: SystemConfig
-    ) -> List[SimulationResult]:
-        """Execute every cell; results arrive in cell order."""
-        cells = list(cells)
-        if self.workers <= 1 or len(cells) <= 1:
-            return [run_cell(cell, config) for cell in cells]
-        payloads = [(cell, config) for cell in cells]
+    def map(self, func, payloads: Sequence) -> List:
+        """Fan ``func`` over ``payloads``; results arrive in order.
+
+        ``func`` must be a picklable top-level callable and every
+        payload a picklable pure description of the work (the sweep
+        grid uses ``_pool_entry`` over ``(cell, config)`` pairs; the
+        fault campaign ships its own specs through here). The same
+        degradation rules as :meth:`run` apply: one worker or one
+        payload runs in-process, and a pool that cannot be created or
+        dies mid-flight falls back to in-process execution — safe
+        because payloads are pure.
+        """
+        payloads = list(payloads)
+        if self.workers <= 1 or len(payloads) <= 1:
+            return [func(payload) for payload in payloads]
         try:
             with self._context().Pool(processes=self.workers) as pool:
                 # chunksize=1 keeps the grid balanced: cells differ
                 # wildly in cost (strict vs volatile), so batching
                 # them would serialize the expensive tail.
-                return pool.map(_pool_entry, payloads, chunksize=1)
+                return pool.map(func, payloads, chunksize=1)
         except Exception:
             # Pool creation or transport failed (sandboxed fork,
             # pickling restrictions, interpreter teardown). The cells
             # are pure, so re-running them in-process is always safe —
             # and reproduces any genuine simulation error with a clean
             # traceback.
-            return [run_cell(cell, config) for cell in cells]
+            return [func(payload) for payload in payloads]
+
+    def run(
+        self, cells: Sequence[SweepCell], config: SystemConfig
+    ) -> List[SimulationResult]:
+        """Execute every cell; results arrive in cell order."""
+        return self.map(_pool_entry, [(cell, config) for cell in cells])

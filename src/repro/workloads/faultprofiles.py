@@ -1,0 +1,66 @@
+"""Workload profiles tuned for fault-injection campaigns.
+
+Campaign traces are short (thousands of accesses, not the benchmark
+suite's hundreds of thousands), so these profiles compress the
+behaviours the crash windows depend on into that budget:
+
+* **hotshift** — write-heavy with a migrating hot window: the write
+  concentration moves between subtree regions often enough that AMNT's
+  history buffer keeps re-electing a new subtree, so hot-region
+  relocations (with real dirty-node flushes) happen many times per
+  trace — the ``amnt_movement`` crash window.
+* **steady** — a stable hot set with moderate writes; movements are
+  rare but eviction pressure is steady. The control workload.
+
+Footprints span several level-3 subtree regions of the campaign's
+small (64 MB) machine so relocation actually changes region.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.util.units import MB
+from repro.workloads.synthetic import WorkloadProfile
+
+FAULT_PROFILES: Dict[str, WorkloadProfile] = {
+    profile.name: profile
+    for profile in [
+        WorkloadProfile(
+            name="hotshift",
+            footprint_bytes=8 * MB,
+            num_accesses=5_000,
+            write_fraction=0.55,
+            hot_fraction=0.05,
+            hot_access_fraction=0.15,
+            sequential_fraction=0.85,
+            stream_window_fraction=0.10,
+            window_relocate_probability=0.35,
+            think_cycles=2,
+        ),
+        WorkloadProfile(
+            name="steady",
+            footprint_bytes=2 * MB,
+            num_accesses=5_000,
+            write_fraction=0.45,
+            hot_fraction=0.10,
+            hot_access_fraction=0.80,
+            sequential_fraction=0.60,
+            stream_window_fraction=0.30,
+            think_cycles=2,
+        ),
+    ]
+}
+
+
+def fault_profile(name: str) -> WorkloadProfile:
+    try:
+        return FAULT_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault workload {name!r}; known: {sorted(FAULT_PROFILES)}"
+        ) from None
+
+
+def fault_profile_names() -> List[str]:
+    return sorted(FAULT_PROFILES)

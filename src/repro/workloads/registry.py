@@ -28,11 +28,13 @@ _SUITES: Dict[str, Callable[[str], object]] = {}
 
 def _suite_lookup(suite: str):
     if not _SUITES:
+        from repro.workloads.faultprofiles import fault_profile
         from repro.workloads.parsec import parsec_profile
         from repro.workloads.spec import spec_profile
 
         _SUITES["parsec"] = parsec_profile
         _SUITES["spec"] = spec_profile
+        _SUITES["faults"] = fault_profile
     try:
         return _SUITES[suite]
     except KeyError:

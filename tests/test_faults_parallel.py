@@ -1,0 +1,97 @@
+"""Serial vs. parallel fault campaigns must be bit-identical.
+
+Mirrors ``test_parallel.py``: every cell outcome is a pure function of
+*(spec, config)*, so a campaign fanned out over pool workers has to
+reproduce the serial run cell for cell — same verdicts, same golden
+divergence counts, same tamper details, same phase tallies.
+"""
+
+import pytest
+
+from repro.faults import (
+    FaultCampaignSpec,
+    default_fault_config,
+    run_campaign,
+    run_fault_cell,
+)
+from repro.faults.triggers import CrashTrigger
+from repro.util.units import MB
+from repro.workloads.registry import profile_spec
+
+SEED = 2024
+CONFIG = default_fault_config(capacity_bytes=16 * MB)
+TRACES = [profile_spec("faults", "hotshift", 800, SEED)]
+
+
+def small_campaign(workers):
+    return run_campaign(
+        ["amnt", "strict"],
+        TRACES,
+        config=CONFIG,
+        crash_every=250,
+        phase_samples=1,
+        tamper_crashes=1,
+        seed=SEED,
+        workers=workers,
+    )
+
+
+class TestCampaignEquivalence:
+    def test_parallel_matches_serial_cell_for_cell(self):
+        serial = small_campaign(workers=1)
+        parallel = small_campaign(workers=3)
+        assert len(serial.cells) == len(parallel.cells)
+        for left, right in zip(serial.cells, parallel.cells):
+            assert left == right, (left, right)
+        assert serial.baselines == parallel.baselines
+        assert serial.summary() == serial.summary()
+        assert serial.summary() == parallel.summary()
+
+    def test_same_seed_same_report(self):
+        first = small_campaign(workers=1)
+        second = small_campaign(workers=1)
+        assert first.cells == second.cells
+        assert first.baselines == second.baselines
+
+    def test_seed_changes_tamper_sites(self):
+        spec = FaultCampaignSpec(
+            protocol="leaf",
+            trace=TRACES[0],
+            trigger=CrashTrigger("access", 400),
+            tamper="data",
+            seed=SEED,
+        )
+        reseeded = FaultCampaignSpec(
+            protocol="leaf",
+            trace=TRACES[0],
+            trigger=CrashTrigger("access", 400),
+            tamper="data",
+            seed=SEED + 1,
+        )
+        first = run_fault_cell(spec, CONFIG)
+        second = run_fault_cell(reseeded, CONFIG)
+        assert first.tamper_detail != second.tamper_detail
+        assert first.verdict == second.verdict == "detected"
+
+
+class TestCellPurity:
+    def test_cell_is_pure_function_of_spec_and_config(self):
+        spec = FaultCampaignSpec(
+            protocol="amnt",
+            trace=TRACES[0],
+            trigger=CrashTrigger("access", 500),
+            seed=SEED,
+        )
+        assert run_fault_cell(spec, CONFIG) == run_fault_cell(spec, CONFIG)
+
+    def test_spec_is_picklable(self):
+        import pickle
+
+        spec = FaultCampaignSpec(
+            protocol="amnt",
+            trace=TRACES[0],
+            trigger=CrashTrigger("phase", 2, "mdcache_eviction"),
+            tamper="counter",
+            seed=SEED,
+        )
+        assert pickle.loads(pickle.dumps(spec)) == spec
