@@ -10,21 +10,10 @@ results file is self-describing.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, is_dataclass
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Optional
 
-
-def _jsonable(value: Any) -> Any:
-    if is_dataclass(value) and not isinstance(value, type):
-        return {k: _jsonable(v) for k, v in asdict(value).items()}
-    if isinstance(value, Mapping):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return str(value)
+from repro.util.atomicio import atomic_write_text, jsonable as _jsonable
 
 
 def export_experiment(
@@ -42,9 +31,11 @@ def export_experiment(
         "parameters": _jsonable(parameters or {}),
         "data": _jsonable(data),
     }
-    path = Path(path)
-    path.write_text(json.dumps(document, indent=2, sort_keys=True))
-    return path
+    # Atomic replace: an interrupted export leaves the previous file
+    # intact instead of a torn JSON prefix.
+    return atomic_write_text(
+        Path(path), json.dumps(document, indent=2, sort_keys=True)
+    )
 
 
 def load_experiment(path: Path) -> Dict[str, Any]:

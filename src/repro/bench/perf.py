@@ -15,7 +15,6 @@ timings move when — and only when — the simulator's hot paths move.
 
 from __future__ import annotations
 
-import json
 import platform
 import sys
 import time
@@ -26,16 +25,31 @@ from repro.config import SystemConfig, default_config
 from repro.sim.parallel import (
     ParallelSweepRunner,
     SweepCell,
+    _pool_entry,
     default_workers,
     run_cell,
+    validate_cells,
 )
+from repro.sim.results import SimulationResult
 from repro.sim.runner import FIGURE_PROTOCOLS
+from repro.sim.supervisor import (
+    CellFailure,
+    RunJournal,
+    SupervisedRunner,
+    SupervisionPolicy,
+    build_manifest,
+    split_outcomes,
+)
+from repro.util.atomicio import atomic_write_json
 from repro.util.rng import Seed
 from repro.workloads.registry import (
     materialize_trace,
     profile_spec,
     trace_cache_clear,
 )
+
+#: Deterministic per-cell results artifact of a resilient sweep.
+SWEEP_RESULTS_NAME = "SWEEP_results.json"
 
 #: Cache-resident, balanced, and pointer-chasing — three distinct
 #: hot-path mixes so the reference number is not hostage to one regime.
@@ -163,8 +177,91 @@ def run_reference_bench(
         },
     }
     if output is not None:
-        Path(output).write_text(json.dumps(report, indent=2) + "\n")
+        atomic_write_json(Path(output), report)
     return report
+
+
+# ----------------------------------------------------------------------
+# resilient (journaled, resumable) sweep
+# ----------------------------------------------------------------------
+
+
+def sweep_cell_key(index: int, cell: SweepCell) -> str:
+    """Stable journal identity of one reference-grid cell."""
+    return (
+        f"{index:04d}/{cell.protocol}/{cell.trace.label()}"
+        f"/a{cell.trace.accesses}/s{cell.seed}"
+    )
+
+
+def run_resilient_sweep(
+    run_dir: Path,
+    resume: bool = False,
+    workers: Optional[int] = 1,
+    benchmarks: Sequence[str] = REFERENCE_BENCHMARKS,
+    protocols: Sequence[str] = FIGURE_PROTOCOLS,
+    accesses: int = REFERENCE_ACCESSES,
+    seed: Seed = REFERENCE_SEED,
+    policy: Optional[SupervisionPolicy] = None,
+) -> Dict[str, object]:
+    """Run the reference grid under supervision, journaled in ``run_dir``.
+
+    Unlike :func:`run_reference_bench` (a wall-clock benchmark), this
+    entry produces the grid's *results*: every cell's deterministic
+    :class:`SimulationResult`, checkpointed to ``run_dir/journal.jsonl``
+    as it completes and exported to ``run_dir/SWEEP_results.json`` at
+    the end. A run killed at any point and restarted with
+    ``resume=True`` skips the journaled cells and produces a final
+    artifact bit-identical to an uninterrupted run.
+    """
+    from repro.bench.export import export_experiment
+
+    config = default_config()
+    cells = reference_cells(benchmarks, protocols, accesses, seed)
+    validate_cells(cells)
+    keys = [sweep_cell_key(i, cell) for i, cell in enumerate(cells)]
+    parameters = {
+        "benchmarks": list(benchmarks),
+        "protocols": list(protocols),
+        "accesses_per_trace": accesses,
+        "seed": seed,
+    }
+    manifest = build_manifest("resilient-sweep", config, keys, parameters)
+    journal = RunJournal.open(run_dir, manifest, resume=resume)
+    runner = SupervisedRunner(workers=workers, policy=policy, journal=journal)
+    outcomes = runner.map(
+        _pool_entry,
+        [(cell, config) for cell in cells],
+        keys,
+        encode=lambda result: result.to_json_dict(),
+        decode=SimulationResult.from_json_dict,
+    )
+    results, failures = split_outcomes(outcomes)
+    records = []
+    for key, outcome in zip(keys, outcomes):
+        if isinstance(outcome, CellFailure):
+            records.append(
+                {"key": key, "status": "failed", "failure": outcome}
+            )
+        else:
+            records.append(
+                {"key": key, "status": "done", "result": outcome.to_json_dict()}
+            )
+    artifact = Path(run_dir) / SWEEP_RESULTS_NAME
+    export_experiment(
+        "resilient-sweep",
+        {"cells": records, "failed_cells": len(failures)},
+        artifact,
+        parameters=parameters,
+    )
+    return {
+        "cells": len(cells),
+        "completed": len(results),
+        "failures": failures,
+        "outcomes": outcomes,
+        "artifact": artifact,
+        "journal": journal.path,
+    }
 
 
 def format_report(report: Dict[str, object]) -> str:

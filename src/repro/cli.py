@@ -18,6 +18,11 @@ Commands:
 the sweep grid out over a process pool; results are bit-identical to
 the serial run.
 
+``perf`` and ``faults`` accept ``--run-dir DIR`` to journal every
+completed cell (crash-safe, resumable with ``--resume DIR``) and
+supervision knobs (``--max-attempts``, ``--cell-timeout``); see
+docs/RESILIENCE.md for the journal format and exit codes.
+
 Everything the CLI does is a thin wrapper over the public API, so the
 printed numbers are identical to what the pytest benchmark harness
 reports for the same sizes and seeds.
@@ -33,6 +38,15 @@ from repro.bench import experiments
 from repro.bench.reporting import format_series, format_table
 from repro.config import default_config
 from repro.core.protocol import protocol_names
+from repro.errors import ResumeManifestMismatch
+
+#: Distinct exit codes for supervised runs (documented in
+#: docs/RESILIENCE.md): integrity failures keep the historic 1.
+EXIT_OK = 0
+EXIT_INTEGRITY = 1
+EXIT_QUARANTINED = 3
+EXIT_RESUME_MISMATCH = 4
+EXIT_INTERRUPTED = 130
 from repro.sim.runner import FIGURE_PROTOCOLS, sweep_normalized
 from repro.workloads.parsec import PARSEC_PROFILES, parsec_profile
 from repro.workloads.registry import profile_spec
@@ -202,11 +216,105 @@ def cmd_profiles(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    """Shared supervision/journal flags for long-running commands."""
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        help="journal directory: checkpoint each cell for kill-safe resume",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN_DIR",
+        help="resume a killed run from its journal directory",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="tries per cell before quarantine (supervised runs)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=600.0,
+        help="per-cell wall-clock budget in seconds (pool mode)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        help="completed cells between journal flushes",
+    )
+    parser.add_argument(
+        "--die-after-flushes",
+        type=int,
+        default=None,
+        help=argparse.SUPPRESS,  # test hook: simulate a kill at a checkpoint
+    )
+
+
+def _policy_from_args(args: argparse.Namespace):
+    from repro.sim.supervisor import SupervisionPolicy
+
+    return SupervisionPolicy(
+        max_attempts=args.max_attempts,
+        cell_timeout_seconds=args.cell_timeout,
+        checkpoint_every=args.checkpoint_every,
+        die_after_flushes=args.die_after_flushes,
+    )
+
+
+def _resolve_run_dir(args: argparse.Namespace):
+    if args.resume and args.run_dir:
+        raise SystemExit("--run-dir and --resume are mutually exclusive")
+    return args.resume or args.run_dir, bool(args.resume)
+
+
+def _report_failures(failures) -> None:
+    for failure in failures:
+        print(f"QUARANTINED: {failure.describe()}", file=sys.stderr)
+        if failure.traceback:
+            print(failure.traceback, file=sys.stderr)
+
+
 def cmd_perf(args: argparse.Namespace) -> int:
-    """Time the reference sweep (serial and parallel) and record it."""
+    """Time the reference sweep (serial and parallel) and record it.
+
+    With ``--run-dir``/``--resume`` the command switches to the
+    resilient mode: the same grid runs under supervision, each cell's
+    deterministic result is journaled, and the artifact is the grid's
+    ``SWEEP_results.json`` instead of wall-clock timings.
+    """
     from pathlib import Path
 
-    from repro.bench.perf import format_report, run_reference_bench
+    from repro.bench.perf import (
+        format_report,
+        run_reference_bench,
+        run_resilient_sweep,
+    )
+
+    run_dir, resume = _resolve_run_dir(args)
+    if run_dir:
+        outcome = run_resilient_sweep(
+            Path(run_dir),
+            resume=resume,
+            workers=args.workers,
+            benchmarks=tuple(args.benchmarks),
+            accesses=args.accesses,
+            policy=_policy_from_args(args),
+        )
+        print(
+            f"resilient sweep: {outcome['completed']}/{outcome['cells']} "
+            f"cells completed, {len(outcome['failures'])} quarantined"
+        )
+        print(f"journal: {outcome['journal']}")
+        print(f"wrote {outcome['artifact']}")
+        if outcome["failures"]:
+            _report_failures(outcome["failures"])
+            return EXIT_QUARANTINED
+        return EXIT_OK
 
     report = run_reference_bench(
         workers=args.workers,
@@ -284,6 +392,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         profile_spec("faults", name, args.accesses, args.seed)
         for name in workloads
     ]
+    run_dir, resume = _resolve_run_dir(args)
     report = run_campaign(
         protocols,
         traces,
@@ -295,6 +404,9 @@ def cmd_faults(args: argparse.Namespace) -> int:
         tamper_target=args.tamper_target,
         seed=args.seed,
         workers=args.workers,
+        run_dir=run_dir,
+        resume=resume,
+        policy=_policy_from_args(args) if run_dir else None,
     )
     summary = report.summary()
     print(
@@ -331,7 +443,12 @@ def cmd_faults(args: argparse.Namespace) -> int:
             f"{cell.trigger}: verdict={cell.verdict} "
             f"{cell.recovery_detail}"
         )
-    return 1 if failed else 0
+    if failed:
+        return EXIT_INTEGRITY
+    if report.failures:
+        _report_failures(report.failures)
+        return EXIT_QUARANTINED
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -407,6 +524,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the slow no-trace-cache leg (CI smoke)",
     )
+    _add_resilience_args(perf)
     perf.set_defaults(handler=cmd_perf)
 
     area = commands.add_parser("area-table", help="print Table 3")
@@ -489,6 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="FAULTS_campaign.json",
         help="JSON report path ('' to skip writing)",
     )
+    _add_resilience_args(faults)
     faults.set_defaults(handler=cmd_faults)
     return parser
 
@@ -496,7 +615,18 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ResumeManifestMismatch as exc:
+        print(f"resume refused: {exc}", file=sys.stderr)
+        return EXIT_RESUME_MISMATCH
+    except KeyboardInterrupt:
+        print(
+            "interrupted — journal checkpoint flushed; "
+            "continue with --resume <run-dir>",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":

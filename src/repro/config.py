@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from repro.errors import ConfigError
+from repro.errors import ConfigValidationError
 from repro.util.bitops import ilog2, is_power_of_two
 from repro.util.units import GB, KB, cycles_from_ns
 
@@ -53,14 +53,29 @@ class PCMConfig:
     posted_write_latency_fraction: float = 0.35
 
     def __post_init__(self) -> None:
-        if not is_power_of_two(self.capacity_bytes):
-            raise ConfigError(
-                f"PCM capacity must be a power of two, got {self.capacity_bytes}"
+        if self.capacity_bytes <= 0 or not is_power_of_two(self.capacity_bytes):
+            raise ConfigValidationError(
+                "pcm.capacity_bytes",
+                f"must be a positive power of two, got {self.capacity_bytes}",
             )
-        if self.read_latency_ns <= 0 or self.write_latency_ns <= 0:
-            raise ConfigError("PCM latencies must be positive")
+        if self.read_latency_ns <= 0:
+            raise ConfigValidationError(
+                "pcm.read_latency_ns",
+                f"must be positive, got {self.read_latency_ns}",
+            )
+        if self.write_latency_ns <= 0:
+            raise ConfigValidationError(
+                "pcm.write_latency_ns",
+                f"must be positive, got {self.write_latency_ns}",
+            )
+        if self.clock_ghz <= 0:
+            raise ConfigValidationError(
+                "pcm.clock_ghz", f"must be positive, got {self.clock_ghz}"
+            )
         if self.channels <= 0:
-            raise ConfigError("channel count must be positive")
+            raise ConfigValidationError(
+                "pcm.channels", f"must be positive, got {self.channels}"
+            )
 
     @property
     def read_latency_cycles(self) -> int:
@@ -96,16 +111,29 @@ class SecurityConfig:
     def __post_init__(self) -> None:
         for name in ("block_bytes", "page_bytes", "counters_per_block", "tree_arity"):
             value = getattr(self, name)
-            if not is_power_of_two(value):
-                raise ConfigError(f"{name} must be a power of two, got {value}")
+            if value <= 0 or not is_power_of_two(value):
+                raise ConfigValidationError(
+                    f"security.{name}",
+                    f"must be a positive power of two, got {value}",
+                )
+        for name in ("node_bytes", "hmac_bytes"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigValidationError(
+                    f"security.{name}", f"must be positive, got {value}"
+                )
         if self.page_bytes % self.block_bytes:
-            raise ConfigError("page size must be a multiple of the block size")
+            raise ConfigValidationError(
+                "security.page_bytes",
+                "must be a multiple of the block size",
+            )
         blocks_per_page = self.page_bytes // self.block_bytes
         if blocks_per_page != self.counters_per_block:
-            raise ConfigError(
+            raise ConfigValidationError(
+                "security.counters_per_block",
                 "counter arity must match blocks-per-page: one counter block "
                 f"covers one page ({blocks_per_page} blocks), got "
-                f"{self.counters_per_block}"
+                f"{self.counters_per_block}",
             )
 
     @property
@@ -123,10 +151,26 @@ class MetadataCacheConfig:
     access_latency_cycles: int = 2
 
     def __post_init__(self) -> None:
-        if not is_power_of_two(self.capacity_bytes):
-            raise ConfigError("metadata cache capacity must be a power of two")
+        if self.capacity_bytes <= 0 or not is_power_of_two(self.capacity_bytes):
+            raise ConfigValidationError(
+                "metadata_cache.capacity_bytes",
+                f"must be a positive power of two, got {self.capacity_bytes}",
+            )
+        if self.line_bytes <= 0 or self.associativity <= 0:
+            raise ConfigValidationError(
+                "metadata_cache.line_bytes",
+                "line size and associativity must be positive",
+            )
         if self.capacity_bytes % (self.line_bytes * self.associativity):
-            raise ConfigError("metadata cache sets do not divide evenly")
+            raise ConfigValidationError(
+                "metadata_cache.associativity",
+                "cache sets do not divide evenly",
+            )
+        if self.access_latency_cycles < 0:
+            raise ConfigValidationError(
+                "metadata_cache.access_latency_cycles",
+                f"cannot be negative, got {self.access_latency_cycles}",
+            )
 
     @property
     def num_lines(self) -> int:
@@ -147,8 +191,15 @@ class DataCacheConfig:
     access_latency_cycles: int = 20
 
     def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.line_bytes <= 0 or self.associativity <= 0:
+            raise ConfigValidationError(
+                "llc.capacity_bytes",
+                "capacity, line size, and associativity must be positive",
+            )
         if self.capacity_bytes % (self.line_bytes * self.associativity):
-            raise ConfigError("data cache sets do not divide evenly")
+            raise ConfigValidationError(
+                "llc.associativity", "data cache sets do not divide evenly"
+            )
 
 
 @dataclass(frozen=True)
@@ -169,13 +220,28 @@ class AMNTConfig:
 
     def __post_init__(self) -> None:
         if self.subtree_level < 2:
-            raise ConfigError(
-                "subtree level must be >= 2 (level 1 is the global root)"
+            raise ConfigValidationError(
+                "amnt.subtree_level",
+                "must be >= 2 (level 1 is the global root), "
+                f"got {self.subtree_level}",
             )
         if self.movement_interval_writes <= 0:
-            raise ConfigError("movement interval must be positive")
-        if not is_power_of_two(self.history_buffer_entries):
-            raise ConfigError("history buffer entries must be a power of two")
+            raise ConfigValidationError(
+                "amnt.movement_interval_writes",
+                f"must be positive, got {self.movement_interval_writes}",
+            )
+        if self.history_buffer_entries <= 0 or not is_power_of_two(
+            self.history_buffer_entries
+        ):
+            raise ConfigValidationError(
+                "amnt.history_buffer_entries",
+                f"must be a positive power of two, got {self.history_buffer_entries}",
+            )
+        if self.multi_subtrees <= 0:
+            raise ConfigValidationError(
+                "amnt.multi_subtrees",
+                f"must be positive, got {self.multi_subtrees}",
+            )
 
     @property
     def history_buffer_bits(self) -> int:
@@ -192,7 +258,10 @@ class OsirisConfig:
 
     def __post_init__(self) -> None:
         if self.stop_loss_interval <= 0:
-            raise ConfigError("stop-loss interval must be positive")
+            raise ConfigValidationError(
+                "osiris.stop_loss_interval",
+                f"must be positive, got {self.stop_loss_interval}",
+            )
 
 
 @dataclass(frozen=True)
@@ -206,7 +275,10 @@ class TriadConfig:
 
     def __post_init__(self) -> None:
         if self.persist_levels < 0:
-            raise ConfigError("persist_levels cannot be negative")
+            raise ConfigValidationError(
+                "triad.persist_levels",
+                f"cannot be negative, got {self.persist_levels}",
+            )
 
 
 @dataclass(frozen=True)
@@ -223,8 +295,16 @@ class BMFConfig:
     frequency_counter_bits: int = 6
 
     def __post_init__(self) -> None:
+        if self.root_entry_bytes <= 0 or self.root_set_bytes <= 0:
+            raise ConfigValidationError(
+                "bmf.root_set_bytes",
+                "root set and entry sizes must be positive",
+            )
         if self.root_set_bytes % self.root_entry_bytes:
-            raise ConfigError("root set size must be a multiple of entry size")
+            raise ConfigValidationError(
+                "bmf.root_set_bytes",
+                "root set size must be a multiple of entry size",
+            )
 
     @property
     def root_set_entries(self) -> int:
@@ -263,15 +343,20 @@ class SystemConfig:
 
     def __post_init__(self) -> None:
         if self.pcm.capacity_bytes < self.security.page_bytes:
-            raise ConfigError("memory smaller than one page")
+            raise ConfigValidationError(
+                "pcm.capacity_bytes",
+                f"memory ({self.pcm.capacity_bytes} B) smaller than one page "
+                f"({self.security.page_bytes} B)",
+            )
         # The subtree level must exist in the tree this geometry builds.
         from repro.integrity.geometry import TreeGeometry  # local import: avoid cycle
 
         geometry = TreeGeometry.from_config(self)
         if self.amnt.subtree_level > geometry.num_levels:
-            raise ConfigError(
-                f"subtree level {self.amnt.subtree_level} exceeds tree depth "
-                f"{geometry.num_levels}"
+            raise ConfigValidationError(
+                "amnt.subtree_level",
+                f"level {self.amnt.subtree_level} exceeds tree depth "
+                f"{geometry.num_levels}",
             )
 
     def with_amnt(self, **changes: object) -> "SystemConfig":

@@ -19,6 +19,21 @@ class ConfigError(ReproError):
     """A configuration value is invalid or inconsistent with another."""
 
 
+class ConfigValidationError(ConfigError):
+    """A specific configuration field failed up-front validation.
+
+    Carries the dotted name of the offending field (``pcm.capacity_bytes``,
+    ``trace.accesses``, ``cell.protocol``) so harnesses and CLIs can point
+    at exactly what to fix instead of surfacing a failure from deep inside
+    ``simulate()``.
+    """
+
+    def __init__(self, field: str, message: str) -> None:
+        super().__init__(f"{field}: {message}")
+        #: Dotted path of the rejected field.
+        self.field = field
+
+
 class AddressError(ReproError):
     """An address is out of range or misaligned for the operation."""
 
@@ -74,6 +89,66 @@ class FaultInjectionError(RecoveryError):
     integrity oracle to examine. Subclasses :class:`RecoveryError` so
     callers that treated the old generic error keep working.
     """
+
+
+class OrchestrationError(ReproError):
+    """Base class for sweep/campaign orchestration failures.
+
+    These are harness-level conditions (a worker hung, a resume was
+    pointed at the wrong run directory) — never simulation results.
+    """
+
+
+class CellTimeoutError(OrchestrationError):
+    """A sweep cell exceeded its per-cell wall-clock budget.
+
+    The supervisor terminates the pool that hosted the cell (the only
+    way to reclaim a stuck worker) and either retries the cell on a
+    fresh pool or quarantines it after exhausting its attempts.
+    """
+
+    def __init__(self, key: str, timeout_seconds: float) -> None:
+        super().__init__(
+            f"cell {key!r} exceeded its {timeout_seconds:.1f}s wall-clock budget"
+        )
+        self.key = key
+        self.timeout_seconds = timeout_seconds
+
+
+class CellRetryExhausted(OrchestrationError):
+    """A sweep cell failed on every allowed attempt and was quarantined.
+
+    The run continues without the cell; the journal and final report
+    record the failure (with the last traceback) so a poison cell never
+    aborts the surviving grid.
+    """
+
+    def __init__(self, key: str, attempts: int, last_error: str) -> None:
+        super().__init__(
+            f"cell {key!r} quarantined after {attempts} attempt(s): {last_error}"
+        )
+        self.key = key
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class ResumeManifestMismatch(OrchestrationError):
+    """A resume was requested against a journal from a different run.
+
+    Raised when the stored manifest (config digest, grid digest,
+    library version, parameters) disagrees with the one the resuming
+    process would produce — silently mixing cells from two different
+    runs would corrupt the artifact, so the resume is refused.
+    """
+
+    def __init__(self, mismatches: "dict[str, tuple[object, object]]") -> None:
+        detail = "; ".join(
+            f"{field}: journal has {old!r}, run wants {new!r}"
+            for field, (old, new) in sorted(mismatches.items())
+        )
+        super().__init__(f"resume manifest mismatch — {detail}")
+        #: field -> (journal value, current value)
+        self.mismatches = dict(mismatches)
 
 
 class PowerFailure(ReproError):

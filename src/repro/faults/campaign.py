@@ -24,11 +24,12 @@ with per-protocol and per-phase verdict breakdowns and a JSON artifact
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import MetadataCacheConfig, SystemConfig, default_config
-from repro.errors import FaultInjectionError
+from repro.errors import ConfigValidationError, FaultInjectionError
 from repro.faults.oracle import (
     VERDICT_RECOVERED,
     VERDICT_SILENT,
@@ -43,9 +44,21 @@ from repro.mem.backend import MetadataRegion
 from repro.sim.engine import drive_memory_boundary
 from repro.sim.machine import build_machine
 from repro.sim.parallel import ParallelSweepRunner
+from repro.sim.supervisor import (
+    CellFailure,
+    RunJournal,
+    SupervisedRunner,
+    SupervisionPolicy,
+    build_manifest,
+    split_outcomes,
+)
 from repro.util.rng import Seed, make_rng
 from repro.util.units import KB, MB
-from repro.workloads.registry import TraceSpec, materialize_trace
+from repro.workloads.registry import (
+    TraceSpec,
+    materialize_trace,
+    validate_trace_spec,
+)
 
 #: Verdict label for probe (unarmed) cells.
 VERDICT_BASELINE = "baseline"
@@ -280,6 +293,65 @@ def _fault_pool_entry(
 
 
 # ----------------------------------------------------------------------
+# journal codec and keys
+# ----------------------------------------------------------------------
+
+_OUTCOME_FIELDS = frozenset(f.name for f in fields(FaultCellOutcome))
+
+
+def outcome_to_payload(outcome: FaultCellOutcome) -> Dict[str, Any]:
+    """JSON-able journal payload of one cell outcome."""
+    return asdict(outcome)
+
+
+def outcome_from_payload(payload: Dict[str, Any]) -> FaultCellOutcome:
+    """Inverse of :func:`outcome_to_payload`.
+
+    JSON turns the ``phase_counts`` tuple-of-tuples into lists; restore
+    the canonical shape so a journaled outcome compares equal to the
+    freshly computed one (the property kill-and-resume tests assert).
+    """
+    data = {k: v for k, v in payload.items() if k in _OUTCOME_FIELDS}
+    data["phase_counts"] = tuple(
+        (str(phase), int(count))
+        for phase, count in data.get("phase_counts", ())
+    )
+    return FaultCellOutcome(**data)
+
+
+def fault_spec_key(stage: str, index: int, spec: FaultCampaignSpec) -> str:
+    """Stable journal identity of one campaign cell.
+
+    The ``index`` prefix guarantees uniqueness (planned tamper points
+    can collide on tiny traces); it is deterministic because planning
+    is a pure function of the probe outcomes and campaign parameters.
+    """
+    trigger = spec.trigger.describe() if spec.trigger else "probe"
+    return (
+        f"{stage}/{index:04d}/{spec.protocol}/{spec.trace.label()}"
+        f"/a{spec.trace.accesses}/{trigger}/{spec.tamper or 'clean'}"
+        f"/s{spec.seed}"
+    )
+
+
+def validate_campaign(
+    protocols: Sequence[str], traces: Sequence[TraceSpec]
+) -> None:
+    """Reject unknown protocols/workloads before any probe runs."""
+    from repro.core.protocol import protocol_names
+
+    known = set(protocol_names())
+    for protocol in protocols:
+        if protocol not in known:
+            raise ConfigValidationError(
+                "campaign.protocols",
+                f"unknown protocol {protocol!r}; known: {sorted(known)}",
+            )
+    for trace in traces:
+        validate_trace_spec(trace)
+
+
+# ----------------------------------------------------------------------
 # planning and aggregation
 # ----------------------------------------------------------------------
 
@@ -305,6 +377,9 @@ class CampaignReport:
     parameters: Dict[str, Any]
     baselines: List[FaultCellOutcome]
     cells: List[FaultCellOutcome]
+    #: Quarantined cells (supervised runs): the run completed without
+    #: them, but they must surface in reports and exit codes.
+    failures: List[CellFailure] = field(default_factory=list)
 
     def by_protocol(self) -> Dict[str, Dict[str, int]]:
         return self._matrix(lambda cell: cell.protocol)
@@ -348,6 +423,7 @@ class CampaignReport:
             "phase_occurrences": self.phase_occurrences(),
             "silent_divergence": len(self.silent_cells()),
             "anomalies": len(self.anomalies()),
+            "failed_cells": len(self.failures),
         }
 
     def write_json(self, path) -> None:
@@ -359,6 +435,7 @@ class CampaignReport:
                 "summary": self.summary(),
                 "baselines": list(self.baselines),
                 "cells": list(self.cells),
+                "failures": list(self.failures),
             },
             path,
             parameters=self.parameters,
@@ -422,11 +499,25 @@ def run_campaign(
     seed: Seed = 0,
     churn_interval: int = 1024,
     workers: Optional[int] = 1,
+    run_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    policy: Optional[SupervisionPolicy] = None,
 ) -> CampaignReport:
-    """Probe, plan, and sweep the full campaign grid."""
+    """Probe, plan, and sweep the full campaign grid.
+
+    With ``run_dir`` set the campaign runs under supervision: every
+    probe and cell outcome is checkpointed to a crash-safe journal in
+    that directory, failed cells are retried and then quarantined
+    instead of aborting, and ``resume=True`` continues a killed run —
+    producing a report bit-identical to an uninterrupted one (planning
+    is a pure function of the journaled probe outcomes). ``policy``
+    alone (no ``run_dir``) supervises without journaling.
+    """
     if config is None:
         config = default_fault_config()
-    runner = ParallelSweepRunner(workers=workers)
+    protocols = list(protocols)
+    traces = list(traces)
+    validate_campaign(protocols, traces)
     probe_specs = [
         FaultCampaignSpec(
             protocol=protocol,
@@ -438,23 +529,6 @@ def run_campaign(
         for protocol in protocols
         for trace in traces
     ]
-    baselines = runner.map(
-        _fault_pool_entry, [(spec, config) for spec in probe_specs]
-    )
-    specs: List[FaultCampaignSpec] = []
-    for baseline, probe_spec in zip(baselines, probe_specs):
-        specs.extend(
-            plan_cells(
-                baseline,
-                probe_spec,
-                crash_every=crash_every,
-                random_crashes=random_crashes,
-                phase_samples=phase_samples,
-                tamper_crashes=tamper_crashes,
-                tamper_target=tamper_target,
-            )
-        )
-    cells = runner.map(_fault_pool_entry, [(spec, config) for spec in specs])
     parameters = {
         "protocols": list(protocols),
         "workloads": [trace.label() for trace in traces],
@@ -468,6 +542,93 @@ def run_campaign(
         "capacity_bytes": config.pcm.capacity_bytes,
         "metadata_cache_bytes": config.metadata_cache.capacity_bytes,
     }
-    return CampaignReport(
-        parameters=parameters, baselines=baselines, cells=cells
+
+    supervised = run_dir is not None or policy is not None
+    if not supervised:
+        runner = ParallelSweepRunner(workers=workers)
+        baselines = runner.map(
+            _fault_pool_entry, [(spec, config) for spec in probe_specs]
+        )
+        specs = _plan_all(
+            baselines,
+            probe_specs,
+            crash_every=crash_every,
+            random_crashes=random_crashes,
+            phase_samples=phase_samples,
+            tamper_crashes=tamper_crashes,
+            tamper_target=tamper_target,
+        )
+        cells = runner.map(
+            _fault_pool_entry, [(spec, config) for spec in specs]
+        )
+        return CampaignReport(
+            parameters=parameters, baselines=baselines, cells=cells
+        )
+
+    probe_keys = [
+        fault_spec_key("probe", i, spec)
+        for i, spec in enumerate(probe_specs)
+    ]
+    journal = None
+    if run_dir is not None:
+        manifest = build_manifest(
+            "fault-campaign", config, probe_keys, parameters
+        )
+        journal = RunJournal.open(run_dir, manifest, resume=resume)
+    supervisor = SupervisedRunner(
+        workers=workers, policy=policy, journal=journal
     )
+    probe_outcomes = supervisor.map(
+        _fault_pool_entry,
+        [(spec, config) for spec in probe_specs],
+        probe_keys,
+        encode=outcome_to_payload,
+        decode=outcome_from_payload,
+    )
+    # A quarantined probe removes its (protocol, workload) pair from
+    # planning — deterministically, since the failure is journaled too.
+    planned_baselines = [
+        None if isinstance(outcome, CellFailure) else outcome
+        for outcome in probe_outcomes
+    ]
+    specs = _plan_all(
+        planned_baselines,
+        probe_specs,
+        crash_every=crash_every,
+        random_crashes=random_crashes,
+        phase_samples=phase_samples,
+        tamper_crashes=tamper_crashes,
+        tamper_target=tamper_target,
+    )
+    cell_keys = [
+        fault_spec_key("cell", i, spec) for i, spec in enumerate(specs)
+    ]
+    cell_outcomes = supervisor.map(
+        _fault_pool_entry,
+        [(spec, config) for spec in specs],
+        cell_keys,
+        encode=outcome_to_payload,
+        decode=outcome_from_payload,
+    )
+    baselines, probe_failures = split_outcomes(probe_outcomes)
+    cells, cell_failures = split_outcomes(cell_outcomes)
+    return CampaignReport(
+        parameters=parameters,
+        baselines=baselines,
+        cells=cells,
+        failures=probe_failures + cell_failures,
+    )
+
+
+def _plan_all(
+    baselines: Sequence[Optional[FaultCellOutcome]],
+    probe_specs: Sequence[FaultCampaignSpec],
+    **plan_kwargs: Any,
+) -> List[FaultCampaignSpec]:
+    """Crash cells for every successfully probed (protocol, workload)."""
+    specs: List[FaultCampaignSpec] = []
+    for baseline, probe_spec in zip(baselines, probe_specs):
+        if baseline is None:
+            continue
+        specs.extend(plan_cells(baseline, probe_spec, **plan_kwargs))
+    return specs

@@ -30,11 +30,16 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.config import SystemConfig
+from repro.errors import ConfigValidationError
 from repro.sim.engine import simulate
 from repro.sim.machine import build_machine
 from repro.sim.results import SimulationResult
 from repro.util.rng import Seed
-from repro.workloads.registry import TraceSpec, materialize_trace
+from repro.workloads.registry import (
+    TraceSpec,
+    materialize_trace,
+    validate_trace_spec,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,6 +56,35 @@ class SweepCell:
     scatter_span_chunks: int = 0
     churn_interval: int = 16384
     config: Optional[SystemConfig] = None
+
+
+def validate_cells(cells: Sequence[SweepCell]) -> None:
+    """Reject a malformed grid before any work is dispatched.
+
+    Checks every cell's protocol against the live registry and its
+    trace spec against the workload suites, so a 1000-cell sweep with a
+    typo in cell 997 fails in milliseconds instead of hours in.
+    """
+    from repro.core.protocol import protocol_names
+
+    known = set(protocol_names())
+    for cell in cells:
+        if cell.protocol not in known:
+            raise ConfigValidationError(
+                "cell.protocol",
+                f"unknown protocol {cell.protocol!r}; known: {sorted(known)}",
+            )
+        validate_trace_spec(cell.trace)
+        if cell.churn_interval <= 0:
+            raise ConfigValidationError(
+                "cell.churn_interval",
+                f"must be positive, got {cell.churn_interval}",
+            )
+        if cell.scatter_span_chunks < 0:
+            raise ConfigValidationError(
+                "cell.scatter_span_chunks",
+                f"cannot be negative, got {cell.scatter_span_chunks}",
+            )
 
 
 def run_cell(cell: SweepCell, config: SystemConfig) -> SimulationResult:
@@ -120,10 +154,16 @@ class ParallelSweepRunner:
         because payloads are pure.
         """
         payloads = list(payloads)
-        if self.workers <= 1 or len(payloads) <= 1:
+        if not payloads:
+            return []
+        # One worker or one payload: a pool would spawn processes just
+        # to pickle the work back and forth — run in-process instead.
+        if self.workers <= 1 or len(payloads) == 1:
             return [func(payload) for payload in payloads]
+        # Never spawn more processes than there are cells to run.
+        processes = min(self.workers, len(payloads))
         try:
-            with self._context().Pool(processes=self.workers) as pool:
+            with self._context().Pool(processes=processes) as pool:
                 # chunksize=1 keeps the grid balanced: cells differ
                 # wildly in cost (strict vs volatile), so batching
                 # them would serialize the expensive tail.
@@ -140,4 +180,6 @@ class ParallelSweepRunner:
         self, cells: Sequence[SweepCell], config: SystemConfig
     ) -> List[SimulationResult]:
         """Execute every cell; results arrive in cell order."""
+        cells = list(cells)
+        validate_cells(cells)
         return self.map(_pool_entry, [(cell, config) for cell in cells])

@@ -49,6 +49,7 @@ def run_protocol_sweep(
     :class:`~repro.workloads.registry.TraceSpec` so workers regenerate
     it locally instead.
     """
+    _validate_sweep(trace, protocols, churn_interval)
     if workers > 1:
         spec = trace if isinstance(trace, TraceSpec) else literal_spec(trace)
         cells = [
@@ -79,6 +80,35 @@ def run_protocol_sweep(
             machine, materialized, seed=seed, churn_interval=churn_interval
         )
     return results_by_name
+
+
+def _validate_sweep(
+    trace: TraceLike, protocols: Sequence[str], churn_interval: int
+) -> None:
+    """Fail fast on a malformed sweep, before any machine is built.
+
+    The parallel path re-validates per cell inside the runner; doing it
+    here as well gives the serial path the same field-named errors and
+    catches a typo'd grid before the first (expensive) machine build.
+    """
+    from repro.core.protocol import protocol_names
+    from repro.errors import ConfigValidationError
+    from repro.workloads.registry import validate_trace_spec
+
+    known = set(protocol_names())
+    for name in protocols:
+        if name not in known:
+            raise ConfigValidationError(
+                "cell.protocol",
+                f"unknown protocol {name!r}; known: {sorted(known)}",
+            )
+    if isinstance(trace, TraceSpec):
+        validate_trace_spec(trace)
+    if churn_interval <= 0:
+        raise ConfigValidationError(
+            "cell.churn_interval",
+            f"must be positive, got {churn_interval}",
+        )
 
 
 def sweep_normalized(

@@ -1,0 +1,110 @@
+"""Crash-safe file writes: write-temp, fsync, rename.
+
+Every artifact this repository produces (benchmark reports, campaign
+exports, sweep journals) goes through these helpers. A bare
+``path.write_text`` interrupted mid-dump leaves a torn file — exactly
+the failure mode the simulated persistence protocols exist to prevent,
+so the harness holds itself to the same standard: a reader either sees
+the complete previous version or the complete new one, never a prefix.
+
+The recipe is the classic POSIX one:
+
+1. write the full payload to a temporary file *in the same directory*
+   (so the final rename cannot cross a filesystem boundary),
+2. flush and ``fsync`` the temp file so the bytes are durable,
+3. ``os.replace`` it over the destination (atomic on POSIX and on
+   modern Windows),
+4. best-effort ``fsync`` the directory so the rename itself survives
+   power loss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Mapping, Union
+
+PathLike = Union[str, Path]
+
+
+def fsync_directory(directory: PathLike) -> None:
+    """Best-effort fsync of a directory entry (no-op where unsupported)."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: PathLike, text: str) -> Path:
+    """Atomically replace ``path`` with ``text`` (UTF-8).
+
+    The temp file is created with :func:`tempfile.mkstemp` in the
+    destination directory, so concurrent writers cannot collide and a
+    crash leaves at worst an orphaned ``.tmp`` sibling, never a torn
+    destination.
+    """
+    path = Path(path)
+    # Special destinations (/dev/null, FIFOs) cannot be atomically
+    # replaced — renaming over a device node would destroy it. Fall
+    # back to a plain write; "atomic" is meaningless there anyway.
+    if path.exists() and not path.is_file():
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return path
+    directory = path.parent if str(path.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=str(directory)
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    fsync_directory(directory)
+    return path
+
+
+def atomic_write_json(
+    path: PathLike,
+    document: Any,
+    indent: int = 2,
+    sort_keys: bool = False,
+) -> Path:
+    """Serialize ``document`` and atomically write it to ``path``."""
+    text = json.dumps(document, indent=indent, sort_keys=sort_keys) + "\n"
+    return atomic_write_text(path, text)
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively reduce ``value`` to plain JSON builtins.
+
+    Dataclasses become dicts, mappings get string keys, tuples become
+    lists, and anything unrecognized falls back to ``str`` — the same
+    convention :mod:`repro.bench.export` has always used for artifact
+    payloads.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: jsonable(v) for k, v in asdict(value).items()}
+    if isinstance(value, Mapping):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

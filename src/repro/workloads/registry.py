@@ -67,6 +67,52 @@ class TraceSpec:
         return "+".join(self.names)
 
 
+#: Spec kinds a runner knows how to materialize.
+SPEC_KINDS = ("profile", "multiprogram", "literal")
+
+
+def validate_trace_spec(spec: TraceSpec) -> None:
+    """Fail fast on a malformed spec, before any machine is built.
+
+    Raises :class:`~repro.errors.ConfigValidationError` naming the
+    offending field; resolving the suite and every profile name up
+    front means a typo'd workload aborts at planning time instead of
+    deep inside ``simulate()`` on some pool worker.
+    """
+    from repro.errors import ConfigValidationError
+
+    if spec.kind not in SPEC_KINDS:
+        raise ConfigValidationError(
+            "trace.kind", f"unknown kind {spec.kind!r}; known: {SPEC_KINDS}"
+        )
+    if spec.kind == "literal":
+        if len(spec.payload) != 2:
+            raise ConfigValidationError(
+                "trace.payload", "literal specs need a (name, records) payload"
+            )
+        return
+    if not spec.names:
+        raise ConfigValidationError(
+            "trace.names", "at least one benchmark name is required"
+        )
+    if spec.accesses <= 0:
+        raise ConfigValidationError(
+            "trace.accesses", f"must be positive, got {spec.accesses}"
+        )
+    try:
+        lookup = _suite_lookup(spec.suite)
+    except KeyError as exc:
+        raise ConfigValidationError("trace.suite", str(exc.args[0])) from None
+    for name in spec.names:
+        try:
+            lookup(name)
+        except (KeyError, ValueError) as exc:
+            raise ConfigValidationError(
+                "trace.names",
+                f"unknown {spec.suite!r} benchmark {name!r} ({exc})",
+            ) from None
+
+
 def profile_spec(
     suite: str, name: str, accesses: int, seed: Seed = 0
 ) -> TraceSpec:

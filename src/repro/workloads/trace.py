@@ -83,7 +83,9 @@ class Trace:
                 for access in self.accesses
             ],
         }
-        path.write_text(json.dumps(payload))
+        from repro.util.atomicio import atomic_write_text
+
+        atomic_write_text(Path(path), json.dumps(payload))
 
     @classmethod
     def load(cls, path: Path) -> "Trace":

@@ -1,0 +1,98 @@
+"""Crash-safe artifact writes (util.atomicio)."""
+
+import json
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.util.atomicio import (
+    atomic_write_json,
+    atomic_write_text,
+    fsync_directory,
+    jsonable,
+)
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        result = atomic_write_text(target, "hello\n")
+        assert result == target
+        assert target.read_text() == "hello\n"
+
+    def test_overwrites_existing(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_siblings_left_behind(self, tmp_path):
+        target = tmp_path / "out.txt"
+        for i in range(3):
+            atomic_write_text(target, f"version {i}")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_failed_serialization_leaves_no_temp(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("intact")
+        with pytest.raises(TypeError):
+            atomic_write_json(target, {"bad": object()})
+        # json.dumps happens before any file IO: destination untouched.
+        assert target.read_text() == "intact"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_special_destination_written_in_place(self):
+        """Device nodes cannot be atomically replaced — renaming over
+        /dev/null would destroy it. The writer must fall back to a
+        plain write and leave the node a device."""
+        atomic_write_text("/dev/null", "discarded")
+        assert not os.path.isfile("/dev/null")  # still a character device
+
+    def test_unicode_round_trip(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "träd — tree\n")
+        assert target.read_text(encoding="utf-8") == "träd — tree\n"
+
+
+class TestAtomicWriteJson:
+    def test_document_round_trips(self, tmp_path):
+        target = tmp_path / "doc.json"
+        atomic_write_json(target, {"cells": [1, 2], "ok": True})
+        assert json.loads(target.read_text()) == {"cells": [1, 2], "ok": True}
+
+    def test_trailing_newline(self, tmp_path):
+        target = tmp_path / "doc.json"
+        atomic_write_json(target, {})
+        assert target.read_text().endswith("\n")
+
+    def test_sort_keys(self, tmp_path):
+        target = tmp_path / "doc.json"
+        atomic_write_json(target, {"b": 1, "a": 2}, sort_keys=True)
+        assert target.read_text().index('"a"') < target.read_text().index('"b"')
+
+
+class TestJsonable:
+    def test_dataclass_and_tuple_reduction(self):
+        @dataclass
+        class Point:
+            x: int
+            label: str
+
+        document = jsonable({"point": Point(1, "origin"), "pair": (1, 2)})
+        assert document == {"point": {"x": 1, "label": "origin"}, "pair": [1, 2]}
+
+    def test_unknown_objects_become_strings(self):
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        assert jsonable({"o": Odd()}) == {"o": "<odd>"}
+
+    def test_mapping_keys_coerced_to_strings(self):
+        assert jsonable({1: "one"}) == {"1": "one"}
+
+
+class TestFsyncDirectory:
+    def test_missing_directory_is_noop(self, tmp_path):
+        fsync_directory(tmp_path / "does-not-exist")  # must not raise

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import (
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_QUARANTINED,
+    EXIT_RESUME_MISMATCH,
+    build_parser,
+    main,
+)
 
 
 class TestParser:
@@ -84,3 +91,107 @@ class TestCommands:
             ["crash-drill", "--protocol", "volatile", "--records", "40"]
         ) == 1
         assert "recovery=FAILED" in capsys.readouterr().out
+
+
+class TestResilienceCLI:
+    """Exit codes of the supervised perf/faults modes.
+
+    The full kill-at-a-checkpoint → resume → bit-identical-artifact
+    round trip, through the real argv surface an operator uses.
+    """
+
+    def _faults_argv(self, tmp_path, *extra):
+        return [
+            "faults",
+            "--protocols", "leaf",
+            "--workloads", "hotshift",
+            "--accesses", "300",
+            "--crash-every", "150",
+            "--phase-samples", "0",
+            "--tamper-crashes", "0",
+            "--output", str(tmp_path / "report.json"),
+            *extra,
+        ]
+
+    def test_faults_kill_then_resume_bit_identical(self, tmp_path, capsys):
+        clean_dir = tmp_path / "clean"
+        killed_dir = tmp_path / "killed"
+
+        code = main(
+            self._faults_argv(tmp_path, "--run-dir", str(clean_dir))
+        )
+        assert code == EXIT_OK
+        clean_report = (tmp_path / "report.json").read_bytes()
+
+        code = main(
+            self._faults_argv(
+                tmp_path,
+                "--run-dir", str(killed_dir),
+                "--die-after-flushes", "1",
+            )
+        )
+        assert code == EXIT_INTERRUPTED
+        assert "continue with --resume" in capsys.readouterr().err
+
+        code = main(self._faults_argv(tmp_path, "--resume", str(killed_dir)))
+        assert code == EXIT_OK
+        assert (tmp_path / "report.json").read_bytes() == clean_report
+
+    def test_faults_resume_refused_on_changed_grid(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        code = main(
+            self._faults_argv(
+                tmp_path,
+                "--run-dir", str(run_dir),
+                "--die-after-flushes", "1",
+            )
+        )
+        assert code == EXIT_INTERRUPTED
+        capsys.readouterr()
+
+        argv = self._faults_argv(tmp_path, "--resume", str(run_dir))
+        argv[argv.index("300")] = "400"  # different trace length
+        assert main(argv) == EXIT_RESUME_MISMATCH
+        assert "resume refused" in capsys.readouterr().err
+
+    def test_run_dir_and_resume_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(
+                self._faults_argv(
+                    tmp_path,
+                    "--run-dir", str(tmp_path / "a"),
+                    "--resume", str(tmp_path / "b"),
+                )
+            )
+
+    def test_perf_quarantine_exit_code(self, tmp_path, capsys, monkeypatch):
+        """A sweep that completes with quarantined cells exits 3 and
+        prints each failure with its traceback."""
+        from repro.bench import perf
+        from repro.sim.supervisor import CellFailure
+
+        failure = CellFailure(
+            key="0001/leaf/blackscholes/a300/s2024",
+            attempts=3,
+            error_type="ValueError",
+            message="injected",
+            traceback="Traceback: injected failure",
+        )
+
+        def fake_sweep(run_dir, **kwargs):
+            return {
+                "cells": 2,
+                "completed": 1,
+                "failures": [failure],
+                "outcomes": ["ok", failure],
+                "artifact": run_dir / "SWEEP_results.json",
+                "journal": run_dir / "journal.jsonl",
+            }
+
+        monkeypatch.setattr(perf, "run_resilient_sweep", fake_sweep)
+        code = main(["perf", "--run-dir", str(tmp_path / "run")])
+        assert code == EXIT_QUARANTINED
+        captured = capsys.readouterr()
+        assert "1 quarantined" in captured.out
+        assert "QUARANTINED" in captured.err
+        assert "injected failure" in captured.err

@@ -125,3 +125,77 @@ class TestDerivedAndCopies:
         config = default_config()
         with pytest.raises(AttributeError):
             config.seed = 1
+
+
+class TestValidationFields:
+    """ConfigValidationError names the exact offending field, so a CLI
+    or sweep harness can point at what to fix."""
+
+    def _field(self, excinfo):
+        return excinfo.value.field
+
+    def test_subclasses_config_error(self):
+        from repro.errors import ConfigValidationError
+
+        assert issubclass(ConfigValidationError, ConfigError)
+        error = ConfigValidationError("pcm.capacity_bytes", "bad")
+        assert error.field == "pcm.capacity_bytes"
+        assert str(error) == "pcm.capacity_bytes: bad"
+
+    def test_pcm_capacity_field(self):
+        from repro.errors import ConfigValidationError
+
+        with pytest.raises(ConfigValidationError) as excinfo:
+            PCMConfig(capacity_bytes=3 * GB)
+        assert self._field(excinfo) == "pcm.capacity_bytes"
+        with pytest.raises(ConfigValidationError) as excinfo:
+            PCMConfig(capacity_bytes=0)
+        assert self._field(excinfo) == "pcm.capacity_bytes"
+
+    def test_security_block_field(self):
+        from repro.errors import ConfigValidationError
+
+        with pytest.raises(ConfigValidationError) as excinfo:
+            SecurityConfig(block_bytes=48)
+        assert self._field(excinfo) == "security.block_bytes"
+
+    def test_metadata_cache_fields(self):
+        from repro.errors import ConfigValidationError
+
+        with pytest.raises(ConfigValidationError) as excinfo:
+            MetadataCacheConfig(capacity_bytes=64 * KB, associativity=3)
+        assert self._field(excinfo) == "metadata_cache.associativity"
+        with pytest.raises(ConfigValidationError) as excinfo:
+            MetadataCacheConfig(capacity_bytes=0)
+        assert self._field(excinfo) == "metadata_cache.capacity_bytes"
+
+    def test_amnt_subtree_field(self):
+        from repro.errors import ConfigValidationError
+
+        with pytest.raises(ConfigValidationError) as excinfo:
+            AMNTConfig(subtree_level=1)
+        assert self._field(excinfo) == "amnt.subtree_level"
+        with pytest.raises(ConfigValidationError) as excinfo:
+            AMNTConfig(multi_subtrees=0)
+        assert self._field(excinfo) == "amnt.multi_subtrees"
+
+    def test_osiris_interval_field(self):
+        from repro.errors import ConfigValidationError
+
+        with pytest.raises(ConfigValidationError) as excinfo:
+            OsirisConfig(stop_loss_interval=0)
+        assert self._field(excinfo) == "osiris.stop_loss_interval"
+
+    def test_bmf_root_set_field(self):
+        from repro.errors import ConfigValidationError
+
+        with pytest.raises(ConfigValidationError) as excinfo:
+            BMFConfig(root_set_bytes=100)
+        assert self._field(excinfo) == "bmf.root_set_bytes"
+
+    def test_system_capacity_field(self):
+        from repro.errors import ConfigValidationError
+
+        with pytest.raises(ConfigValidationError) as excinfo:
+            SystemConfig(pcm=PCMConfig(capacity_bytes=2048))
+        assert self._field(excinfo) == "pcm.capacity_bytes"

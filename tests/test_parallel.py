@@ -235,3 +235,132 @@ class TestResultSerialization:
         assert clone.metadata_write_amplification() == (
             result.metadata_write_amplification()
         )
+
+
+class TestEdgeCases:
+    """Degenerate grids the runner must handle without a pool."""
+
+    def test_empty_grid_returns_empty(self, config, monkeypatch):
+        import multiprocessing
+
+        def explode(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("pool built for an empty grid")
+
+        monkeypatch.setattr(multiprocessing, "get_context", explode)
+        assert ParallelSweepRunner(workers=4).run([], config) == []
+        assert ParallelSweepRunner(workers=4).map(run_cell, []) == []
+
+    def test_single_cell_runs_in_process(self, config, monkeypatch):
+        import multiprocessing
+
+        def explode(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("pool built for a single cell")
+
+        monkeypatch.setattr(multiprocessing, "get_context", explode)
+        cells = grid_cells()[:1]
+        results = ParallelSweepRunner(workers=8).run(cells, config)
+        assert len(results) == 1
+
+    def test_pool_never_larger_than_grid(self, config):
+        import multiprocessing
+
+        built = []
+        real_get_context = multiprocessing.get_context
+
+        class Recorder:
+            def __init__(self, context):
+                self._context = context
+
+            def Pool(self, processes, **kwargs):
+                built.append(processes)
+                return self._context.Pool(processes, **kwargs)
+
+        runner = ParallelSweepRunner(workers=64)
+        runner._context = lambda: Recorder(real_get_context("fork"))
+        cells = grid_cells()[:2]
+        results = runner.run(cells, config)
+        assert len(results) == 2
+        assert built == [2]
+
+
+class TestGridValidation:
+    """validate_cells: typo'd grids die at planning time."""
+
+    def test_unknown_protocol_named_in_error(self, config):
+        from repro.errors import ConfigValidationError
+        from repro.sim.parallel import validate_cells
+
+        cells = grid_cells()[:1] + [
+            replace(grid_cells()[0], protocol="made-up")
+        ]
+        with pytest.raises(ConfigValidationError) as excinfo:
+            validate_cells(cells)
+        assert excinfo.value.field == "cell.protocol"
+        assert "made-up" in str(excinfo.value)
+
+    def test_unknown_protocol_rejected_before_any_work(self, config):
+        from repro.errors import ConfigValidationError
+
+        cells = [replace(grid_cells()[0], protocol="nope")]
+        with pytest.raises(ConfigValidationError):
+            ParallelSweepRunner(workers=1).run(cells, config)
+
+    def test_bad_churn_interval_rejected(self, config):
+        from repro.errors import ConfigValidationError
+        from repro.sim.parallel import validate_cells
+
+        cells = [replace(grid_cells()[0], churn_interval=0)]
+        with pytest.raises(ConfigValidationError) as excinfo:
+            validate_cells(cells)
+        assert excinfo.value.field == "cell.churn_interval"
+
+    def test_negative_scatter_rejected(self, config):
+        from repro.errors import ConfigValidationError
+        from repro.sim.parallel import validate_cells
+
+        cells = [replace(grid_cells()[0], scatter_span_chunks=-1)]
+        with pytest.raises(ConfigValidationError) as excinfo:
+            validate_cells(cells)
+        assert excinfo.value.field == "cell.scatter_span_chunks"
+
+
+class TestTraceSpecValidation:
+    """validate_trace_spec: field-level errors for malformed specs."""
+
+    def test_unknown_profile_name(self):
+        from repro.errors import ConfigValidationError
+        from repro.workloads.registry import validate_trace_spec
+
+        spec = profile_spec("parsec", "blackscholes", 1000, 1)
+        bad = replace(spec, names=("not-a-benchmark",))
+        with pytest.raises(ConfigValidationError) as excinfo:
+            validate_trace_spec(bad)
+        assert excinfo.value.field == "trace.names"
+
+    def test_unknown_suite(self):
+        from repro.errors import ConfigValidationError
+        from repro.workloads.registry import validate_trace_spec
+
+        spec = profile_spec("parsec", "blackscholes", 1000, 1)
+        bad = replace(spec, suite="not-a-suite")
+        with pytest.raises(ConfigValidationError) as excinfo:
+            validate_trace_spec(bad)
+        assert excinfo.value.field == "trace.suite"
+
+    def test_nonpositive_accesses(self):
+        from repro.errors import ConfigValidationError
+        from repro.workloads.registry import validate_trace_spec
+
+        spec = profile_spec("parsec", "blackscholes", 1000, 1)
+        bad = replace(spec, accesses=0)
+        with pytest.raises(ConfigValidationError) as excinfo:
+            validate_trace_spec(bad)
+        assert excinfo.value.field == "trace.accesses"
+
+    def test_valid_specs_pass(self):
+        from repro.workloads.registry import validate_trace_spec
+
+        validate_trace_spec(profile_spec("parsec", "canneal", 500, 7))
+        validate_trace_spec(
+            multiprogram_spec("parsec", ("canneal", "dedup"), 500, 7)
+        )

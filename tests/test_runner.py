@@ -98,3 +98,34 @@ class TestGeometricMean:
     def test_mixed_extremes(self):
         values = [1e200, 1e-200] * 50
         assert geometric_mean(values) == pytest.approx(1.0)
+
+
+class TestSweepValidation:
+    """run_protocol_sweep fails fast on a malformed grid, before any
+    machine is built (serial and parallel paths alike)."""
+
+    def test_unknown_protocol_rejected_up_front(self, config, trace):
+        from repro.errors import ConfigValidationError
+
+        with pytest.raises(ConfigValidationError) as excinfo:
+            run_protocol_sweep(trace, config, protocols=("volatile", "typo"))
+        assert excinfo.value.field == "cell.protocol"
+        assert "typo" in str(excinfo.value)
+
+    def test_bad_churn_interval_rejected_up_front(self, config, trace):
+        from repro.errors import ConfigValidationError
+
+        with pytest.raises(ConfigValidationError) as excinfo:
+            run_protocol_sweep(
+                trace, config, protocols=("volatile",), churn_interval=0
+            )
+        assert excinfo.value.field == "cell.churn_interval"
+
+    def test_malformed_spec_rejected_up_front(self, config):
+        from repro.errors import ConfigValidationError
+        from repro.workloads.registry import profile_spec
+
+        spec = profile_spec("parsec", "blackscholes", 0, 1)
+        with pytest.raises(ConfigValidationError) as excinfo:
+            run_protocol_sweep(spec, config, protocols=("volatile",))
+        assert excinfo.value.field == "trace.accesses"
