@@ -49,6 +49,14 @@ def _mix_key(key: Key) -> int:
     return value
 
 
+#: Process-wide memo of the (pure) key mix. A sweep builds a fresh
+#: machine — and therefore fresh caches — per cell, but the metadata
+#: key tuples repeat across cells, so sharing the mix means only the
+#: first cell pays for hashing each key. Growth is bounded by the
+#: distinct metadata keys of the geometries simulated in this process.
+_MIX_MEMO: dict = {}
+
+
 @dataclass(slots=True)
 class CacheLine:
     """State of one resident line."""
@@ -106,7 +114,11 @@ class SetAssociativeCache:
             if self._set_of is not None:
                 index = self._set_of(key) & (self.num_sets - 1)
             else:
-                index = _mix_key(key) & (self.num_sets - 1)
+                mixed = _MIX_MEMO.get(key)
+                if mixed is None:
+                    mixed = _mix_key(key)
+                    _MIX_MEMO[key] = mixed
+                index = mixed & (self.num_sets - 1)
             self._index_memo[key] = index
         return index
 
@@ -143,6 +155,39 @@ class SetAssociativeCache:
             line.dirty = line.dirty or dirty
             bucket.move_to_end(key)
             return None
+        victim: Optional[EvictedLine] = None
+        if len(bucket) >= self.associativity:
+            victim_key, victim_line = bucket.popitem(last=False)
+            victim = EvictedLine(victim_key, victim_line.dirty)
+            self._evictions.value += 1
+            if victim_line.dirty:
+                self._dirty_evictions.value += 1
+        bucket[key] = CacheLine(key, dirty)
+        self._fills.value += 1
+        return victim
+
+    def access_line(self, key: Key, dirty: bool = False):
+        """One full reference — probe, and on a miss fill — in a single
+        set walk. Equivalent to ``lookup`` followed by ``mark_dirty`` /
+        ``insert`` (same counters, same LRU transitions), fused because
+        the pair sits on the simulator's innermost loop.
+
+        Returns ``True`` on a hit (recency refreshed, dirty bit OR-ed
+        in), ``None`` on a miss that evicted nothing, or the
+        :class:`EvictedLine` victim displaced by the fill.
+        """
+        index = self._index_memo.get(key)
+        if index is None:
+            index = self._index(key)
+        bucket = self._sets[index]
+        line = bucket.get(key)
+        if line is not None:
+            if dirty:
+                line.dirty = True
+            bucket.move_to_end(key)
+            self._hits.value += 1
+            return True
+        self._misses.value += 1
         victim: Optional[EvictedLine] = None
         if len(bucket) >= self.associativity:
             victim_key, victim_line = bucket.popitem(last=False)

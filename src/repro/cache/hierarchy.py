@@ -15,22 +15,23 @@ which dirty victims write back this access.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, NamedTuple, Optional
 
-from repro.cache.cache import SetAssociativeCache, build_cache
+from repro.cache.cache import CacheLine, SetAssociativeCache, build_cache
 from repro.config import DataCacheConfig
 from repro.mem.address import AddressSpace
 
 
-@dataclass(frozen=True, slots=True)
-class MemoryTraffic:
+class MemoryTraffic(NamedTuple):
     """Memory-side consequences of one CPU reference.
 
     ``fill_block`` is the block index fetched from memory (``None`` on
     a cache hit); ``writeback_blocks`` are dirty victim block indices
     that must be written to memory this access; ``hit`` records whether
     the reference itself hit in the cache.
+
+    A named tuple rather than a dataclass: one is built per LLC miss,
+    and tuple construction and field access run at C speed.
     """
 
     hit: bool
@@ -62,25 +63,58 @@ class DataCache:
             name=name,
             set_of=lambda key: key,  # keys are block indices
         )
-        # Hot path: per-access bound-method resolution hoisted out.
+        # Hot path: per-access bound-method resolution hoisted out, plus
+        # the pieces :meth:`access` needs to run the whole reference as
+        # straight-line code — address decode (shift + bounds check) and
+        # the set array of the underlying cache. Because the LLC's set
+        # function is the identity over block indices, the generic
+        # per-key index memo is pure overhead here.
         self._block_index = address_space.block_index
+        self._block_shift = address_space._block_shift
+        self._capacity = address_space.capacity_bytes
+        self._sets = self._cache._sets
+        self._set_mask = self._cache.num_sets - 1
+        self._assoc = self._cache.associativity
+        self._hits = self._cache._hits
+        self._misses = self._cache._misses
+        self._fills = self._cache._fills
+        self._evictions = self._cache._evictions
+        self._dirty_evictions = self._cache._dirty_evictions
 
     @property
     def stats(self):
         return self._cache.stats
 
     def access(self, addr: int, is_write: bool) -> MemoryTraffic:
-        """Run one CPU reference; returns resulting memory traffic."""
-        cache = self._cache
-        block = self._block_index(addr)
-        if cache.lookup(block):
+        """Run one CPU reference; returns resulting memory traffic.
+
+        This is the fused equivalent of ``lookup`` + ``mark_dirty`` /
+        ``insert`` on the underlying cache — identical counters, LRU
+        transitions, and victim selection — inlined because it runs once
+        per trace record.
+        """
+        if 0 <= addr < self._capacity:
+            block = addr >> self._block_shift
+        else:
+            block = self._block_index(addr)  # raises AddressError
+        bucket = self._sets[block & self._set_mask]
+        line = bucket.get(block)
+        if line is not None:
             if is_write:
-                cache.mark_dirty(block)
+                line.dirty = True
+            bucket.move_to_end(block)
+            self._hits.value += 1
             return _HIT
-        victim = cache.insert(block, dirty=is_write)
-        writebacks = (
-            (victim.key,) if victim is not None and victim.dirty else ()
-        )
+        self._misses.value += 1
+        writebacks = ()
+        if len(bucket) >= self._assoc:
+            victim_key, victim_line = bucket.popitem(last=False)
+            self._evictions.value += 1
+            if victim_line.dirty:
+                self._dirty_evictions.value += 1
+                writebacks = (victim_key,)
+        bucket[block] = CacheLine(block, is_write)
+        self._fills.value += 1
         return MemoryTraffic(
             hit=False,
             fill_block=block,

@@ -50,8 +50,19 @@ class MetadataCache:
             config.associativity,
             name=name,
         )
-
-    # Delegation — the protocols drive the cache through these.
+        # Delegation — the protocols drive the cache through these. The
+        # hot operations are bound straight through to the inner cache
+        # (one attribute lookup instead of a wrapper frame per call;
+        # several of them run multiple times per simulated access).
+        inner = self._cache
+        self.lookup = inner.lookup
+        self.contains = inner.contains
+        self.insert = inner.insert
+        self.access_line = inner.access_line
+        self.mark_dirty = inner.mark_dirty
+        self.clean = inner.clean
+        self.is_dirty = inner.is_dirty
+        self.invalidate = inner.invalidate
 
     @property
     def stats(self):
@@ -60,27 +71,6 @@ class MetadataCache:
     @property
     def access_latency_cycles(self) -> int:
         return self.config.access_latency_cycles
-
-    def lookup(self, key) -> bool:
-        return self._cache.lookup(key)
-
-    def contains(self, key) -> bool:
-        return self._cache.contains(key)
-
-    def insert(self, key, dirty: bool = False) -> EvictedLine | None:
-        return self._cache.insert(key, dirty)
-
-    def mark_dirty(self, key) -> None:
-        self._cache.mark_dirty(key)
-
-    def clean(self, key) -> None:
-        self._cache.clean(key)
-
-    def is_dirty(self, key) -> bool:
-        return self._cache.is_dirty(key)
-
-    def invalidate(self, key):
-        return self._cache.invalidate(key)
 
     def drop_all(self) -> List[EvictedLine]:
         return self._cache.drop_all()

@@ -8,6 +8,9 @@ Commands:
   (``fig3``..``fig8``, ``table2``..``table4``);
 * ``perf`` — time the reference sweep serial vs parallel and write
   ``BENCH_sweep.json``;
+* ``profile`` — attribute one cell's wall-clock to pipeline phases
+  (trace-gen/engine/MEE/BMT/export) with optional cProfile hotspots,
+  writing ``PROFILE_run.json``;
 * ``faults`` — run a fault-injection campaign (swept crash points,
   recovery + integrity oracle) and write ``FAULTS_campaign.json``;
 * ``area-table`` — print Table 3;
@@ -322,11 +325,47 @@ def cmd_perf(args: argparse.Namespace) -> int:
         accesses=args.accesses,
         output=Path(args.output) if args.output else None,
         include_uncached=not args.skip_uncached,
+        rounds=args.rounds,
     )
     print(format_report(report))
     if args.output:
         print(f"wrote {args.output}")
     return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one simulation cell and write the JSON artifact."""
+    from repro.bench.profiling import (
+        format_profile,
+        profile_run,
+        write_profile_artifact,
+    )
+    from repro.workloads.parsec import PARSEC_PROFILES
+    from repro.workloads.spec import SPEC_PROFILES as _SPEC
+
+    if args.benchmark in PARSEC_PROFILES:
+        suite = "parsec"
+    elif args.benchmark in _SPEC:
+        suite = "spec"
+    else:
+        _profile_for(args.benchmark)  # raises with the known-name list
+        raise AssertionError("unreachable")
+    document = profile_run(
+        benchmark=args.benchmark,
+        protocol=args.protocol,
+        accesses=args.accesses,
+        seed=args.seed,
+        suite=suite,
+        functional=args.functional,
+        integrity_mode=args.integrity_mode,
+        capture_cprofile=not args.no_cprofile,
+        top=args.top,
+    )
+    print(format_profile(document, top=args.top))
+    if args.output:
+        write_profile_artifact(document, args.output)
+        print(f"wrote {args.output}")
+    return EXIT_OK
 
 
 def cmd_crash_drill(args: argparse.Namespace) -> int:
@@ -524,8 +563,50 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the slow no-trace-cache leg (CI smoke)",
     )
+    perf.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        help="interleaved rounds per leg; reported time is the best",
+    )
     _add_resilience_args(perf)
     perf.set_defaults(handler=cmd_perf)
+
+    prof = commands.add_parser(
+        "profile",
+        help="attribute one cell's wall-clock to phases, with hotspots",
+    )
+    prof.add_argument("benchmark", help="PARSEC or SPEC profile name")
+    prof.add_argument(
+        "--protocol", default="amnt", choices=protocol_names()
+    )
+    prof.add_argument("--accesses", type=int, default=20_000)
+    prof.add_argument("--seed", type=int, default=2024)
+    prof.add_argument(
+        "--functional",
+        action="store_true",
+        help="run with the functional crypto/tree engaged",
+    )
+    prof.add_argument(
+        "--integrity-mode",
+        choices=["eager", "lazy"],
+        default="eager",
+        help="BMT update discipline for functional runs",
+    )
+    prof.add_argument(
+        "--no-cprofile",
+        action="store_true",
+        help="skip cProfile capture (pure phase timers, less overhead)",
+    )
+    prof.add_argument(
+        "--top", type=int, default=15, help="hotspot rows to keep/print"
+    )
+    prof.add_argument(
+        "--output",
+        default="PROFILE_run.json",
+        help="artifact path ('' to skip writing)",
+    )
+    prof.set_defaults(handler=cmd_profile)
 
     area = commands.add_parser("area-table", help="print Table 3")
     area.set_defaults(handler=cmd_area_table)

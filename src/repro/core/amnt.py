@@ -52,6 +52,7 @@ class AMNTProtocol(MetadataPersistencePolicy):
 
     name = "amnt"
     benefits_from_modified_os = True
+    has_trusted_registers = True
 
     def _on_bind(self) -> None:
         geometry = self.mee.geometry

@@ -65,6 +65,26 @@ from repro.util.stats import StatRegistry
 #: MACs per 64 B HMAC line (8 x 8 B).
 MACS_PER_LINE = 8
 
+# Region enum members resolved once; the read/write paths name their
+# region statically instead of re-deriving it from the key tag.
+_DATA = MetadataRegion.DATA
+_COUNTERS = MetadataRegion.COUNTERS
+_TREE = MetadataRegion.TREE
+_HMACS = MetadataRegion.HMACS
+
+
+# Process-wide memos shared by every engine instance. A sweep builds a
+# fresh machine per cell, but the key tuples and ancestor paths depend
+# only on the address/tree geometry, so sharing them means only the
+# first cell of a given geometry pays to build each entry. All values
+# are immutable once built (tuples, and lists that are never mutated);
+# growth is bounded by the metadata footprint per distinct geometry.
+_COUNTER_KEY_CACHE: Dict[int, tuple] = {}
+_HMAC_KEY_CACHE: Dict[int, tuple] = {}
+_NODE_KEY_CACHE: Dict[NodeId, tuple] = {}
+_PATH_CACHE: Dict[tuple, Dict[int, List[NodeId]]] = {}
+_PATH_KEY_CACHE: Dict[tuple, Dict[int, List[Tuple[NodeId, tuple]]]] = {}
+
 
 def _region_of_key(key: tuple) -> MetadataRegion:
     kind = key[0]
@@ -87,7 +107,12 @@ class MemoryEncryptionEngine:
         nvm: Optional[NVMDevice] = None,
         functional: bool = False,
         engine: Optional[CryptoEngine] = None,
+        integrity_mode: str = "eager",
     ) -> None:
+        from repro.config import validate_integrity_mode
+
+        validate_integrity_mode(integrity_mode)
+        self.integrity_mode = integrity_mode
         self.config = config
         self.geometry = TreeGeometry.from_config(config)
         self.address_space = AddressSpace(
@@ -111,19 +136,56 @@ class MemoryEncryptionEngine:
         self._ctr_walk_register = self.stats.counter("walk_stopped_at_register")
         self._ctr_walk_cache = self.stats.counter("walk_stopped_at_cache")
         self._ctr_md_writebacks = self.stats.counter("metadata_writebacks")
-        self._path_memo: Dict[int, List[NodeId]] = {}
         # Metadata-key memos: every read/write builds ("ctr", i) /
         # ("hmac", line) / ("node", level, i) tuples for the cache; the
         # key space is bounded by the metadata footprint, so memoizing
         # them removes a tuple allocation per metadata touch. The node
         # memo stores each counter's (node, key) pairs alongside the
-        # ancestor path so the walk loops allocate nothing.
-        self._counter_keys: Dict[int, tuple] = {}
-        self._hmac_keys: Dict[int, tuple] = {}
-        self._path_key_memo: Dict[int, List[Tuple[NodeId, tuple]]] = {}
-        # Hot bound methods resolved once.
+        # ancestor path so the walk loops allocate nothing. The memos
+        # are the process-wide caches above, shared across engines so
+        # repeated sweep cells reuse each other's work.
+        self._counter_keys = _COUNTER_KEY_CACHE
+        self._hmac_keys = _HMAC_KEY_CACHE
+        self._node_keys = _NODE_KEY_CACHE
+        shape = (
+            self.geometry.num_counter_blocks,
+            self.geometry.arity,
+            self.geometry.page_bytes,
+        )
+        self._path_memo = _PATH_CACHE.setdefault(shape, {})
+        self._path_key_memo = _PATH_KEY_CACHE.setdefault(shape, {})
+        # Hot bound methods resolved once, plus address decode pieces:
+        # the read/write paths inline the block/page split (a bounds
+        # check and two shifts) instead of paying two method calls per
+        # access.
         self._block_index = self.address_space.block_index
         self._page_index = self.address_space.page_index
+        self._as_capacity = self.address_space.capacity_bytes
+        self._block_shift = self.address_space._block_shift
+        self._page_shift = self.address_space._page_shift
+        self._md_latency = self.mdcache.access_latency_cycles
+        self._md_access = self.mdcache.access_line
+        self._md_clean = self.mdcache.clean
+        # Per-region NVM access closures (see NVMDevice.reader/writer):
+        # each call site names its region statically.
+        self._read_data = self.nvm.reader(_DATA)
+        self._read_ctr = self.nvm.reader(_COUNTERS)
+        self._read_tree = self.nvm.reader(_TREE)
+        self._read_hmac = self.nvm.reader(_HMACS)
+        self._write_data = self.nvm.writer(_DATA)
+        self._persist_ctr_write = self.nvm.writer(_COUNTERS, persist=True)
+        self._persist_tree_write = self.nvm.writer(_TREE, persist=True)
+        self._persist_hmac_write = self.nvm.writer(_HMACS, persist=True)
+        self._readers_by_kind = {
+            "ctr": self._read_ctr,
+            "node": self._read_tree,
+            "hmac": self._read_hmac,
+        }
+        self._wb_writers_by_kind = {
+            "ctr": self.nvm.writer(_COUNTERS),
+            "node": self.nvm.writer(_TREE),
+            "hmac": self.nvm.writer(_HMACS),
+        }
         # Posted (queued) writes expose only part of the device latency
         # to the critical path; persists always pay it all.
         self._posted_write_cycles = max(
@@ -150,7 +212,8 @@ class MemoryEncryptionEngine:
         if functional:
             self.engine = engine if engine is not None else RealCryptoEngine()
             self.tree = BonsaiMerkleTree(
-                self.geometry, self.engine, self.nvm.backend
+                self.geometry, self.engine, self.nvm.backend,
+                mode=integrity_mode,
             )
         # The global BMT root register exists in every protocol.
         root = self.registers.allocate("bmt_root", 64)
@@ -158,6 +221,33 @@ class MemoryEncryptionEngine:
             root.write(self.tree.root_register)
 
         self.protocol = protocol
+        # Hook elision: the per-access paths call a protocol hook only
+        # when its class actually overrides it. Most of the lineup keeps
+        # the no-op defaults, so the common case pays an attribute test
+        # instead of a method call (several per simulated access). The
+        # checks are against the class, so monkeypatched instances of an
+        # overriding protocol still work.
+        base = MetadataPersistencePolicy
+        proto_cls = type(protocol)
+        self._fill_hook = (
+            protocol.on_metadata_fill
+            if proto_cls.on_metadata_fill is not base.on_metadata_fill
+            else None
+        )
+        self._writeback_hook = (
+            protocol.on_metadata_writeback
+            if proto_cls.on_metadata_writeback is not base.on_metadata_writeback
+            else None
+        )
+        self._read_auth_hook = (
+            protocol.on_read_authentication
+            if proto_cls.on_read_authentication is not base.on_read_authentication
+            else None
+        )
+        self._default_extent = (
+            proto_cls.path_update_extent is base.path_update_extent
+        )
+        self._check_trusted = proto_cls.has_trusted_registers
         protocol.bind(self)
 
     # ------------------------------------------------------------------
@@ -179,11 +269,18 @@ class MemoryEncryptionEngine:
         pairs = self._path_key_memo.get(counter_index)
         if pairs is None:
             pairs = [
-                (node, node_key(node[0], node[1]))
+                (node, self._node_key(node))
                 for node in self.ancestor_path(counter_index)
             ]
             self._path_key_memo[counter_index] = pairs
         return pairs
+
+    def _node_key(self, node: NodeId) -> tuple:
+        key = self._node_keys.get(node)
+        if key is None:
+            key = node_key(node[0], node[1])
+            self._node_keys[node] = key
+        return key
 
     def _counter_key(self, counter_index: int) -> tuple:
         key = self._counter_keys.get(counter_index)
@@ -208,16 +305,38 @@ class MemoryEncryptionEngine:
 
     def _fetch_metadata(self, key: tuple) -> Tuple[int, bool]:
         """Bring a metadata line on-chip; returns (cycles, was_hit)."""
-        cycles = self.mdcache.access_latency_cycles
-        if self.mdcache.lookup(key):
-            return cycles, True
-        region = _region_of_key(key)
-        cycles += self.nvm.read_access(region)
-        victim = self.mdcache.insert(key)
-        cycles += self.protocol.on_metadata_fill(key)
+        result = self._md_access(key)
+        if result is True:
+            return self._md_latency, True
+        return (
+            self._md_latency
+            + self._fill_miss(key, self._readers_by_kind[key[0]], result),
+            False,
+        )
+
+    def _fetch(self, key: tuple, nvm_read, dirty: bool = False) -> int:
+        """One metadata reference through the cache; returns cycles.
+
+        Fused probe+fill (+dirty-mark) with the region's pre-bound NVM
+        read closure passed by the caller — the per-access form of
+        :meth:`_fetch_metadata`.
+        """
+        result = self._md_access(key, dirty)
+        if result is True:
+            return self._md_latency
+        return self._md_latency + self._fill_miss(key, nvm_read, result)
+
+    def _fill_miss(self, key: tuple, nvm_read, victim) -> int:
+        """Miss tail after :meth:`SetAssociativeCache.access_line` has
+        filled ``key``: NVM fetch latency, the protocol's fill hook, and
+        the lazy writeback of a displaced dirty victim."""
+        cycles = nvm_read()
+        hook = self._fill_hook
+        if hook is not None:
+            cycles += hook(key)
         if victim is not None and victim.dirty:
             cycles += self._writeback_metadata(victim.key)
-        return cycles, False
+        return cycles
 
     def _writeback_metadata(self, key: tuple) -> int:
         """Lazy writeback of a dirty metadata line on eviction (posted:
@@ -229,13 +348,14 @@ class MemoryEncryptionEngine:
             # sync below runs, so the evicted line's value dies with the
             # write queue — a genuinely torn eviction.
             probe.on_phase("mdcache_eviction")
-        region = _region_of_key(key)
-        self.nvm.write_access(region)
+        self._wb_writers_by_kind[key[0]]()
         cycles = self._posted_write_cycles
         self._ctr_md_writebacks.value += 1
         if self.functional:
             self._sync_line_to_backend(key)
-        cycles += self.protocol.on_metadata_writeback(key)
+        hook = self._writeback_hook
+        if hook is not None:
+            cycles += hook(key)
         return cycles
 
     def _sync_line_to_backend(self, key: tuple) -> None:
@@ -268,15 +388,15 @@ class MemoryEncryptionEngine:
 
     def persist_counter_line(self, counter_index: int) -> int:
         """Write-through the counter line (crash-consistency persist)."""
-        cycles = self.nvm.write_access(MetadataRegion.COUNTERS, persist=True)
-        self.mdcache.clean(counter_key(counter_index))
+        cycles = self._persist_ctr_write()
+        self._md_clean(self._counter_key(counter_index))
         if self.functional:
             self.tree.persist_counter(counter_index)
         return cycles
 
     def persist_hmac_line(self, hmac_line: int) -> int:
-        cycles = self.nvm.write_access(MetadataRegion.HMACS, persist=True)
-        self.mdcache.clean(hmac_key(hmac_line))
+        cycles = self._persist_hmac_write()
+        self._md_clean(self._hmac_key(hmac_line))
         if self.functional:
             first = hmac_line * MACS_PER_LINE
             for block in range(first, first + MACS_PER_LINE):
@@ -286,8 +406,8 @@ class MemoryEncryptionEngine:
         return cycles
 
     def persist_tree_node(self, node: NodeId) -> int:
-        cycles = self.nvm.write_access(MetadataRegion.TREE, persist=True)
-        self.mdcache.clean(node_key(node[0], node[1]))
+        cycles = self._persist_tree_write()
+        self._md_clean(self._node_key(node))
         if self.functional:
             self.tree.persist_node(node)
         return cycles
@@ -353,29 +473,72 @@ class MemoryEncryptionEngine:
         return plaintext
 
     def _read_block_common(self, paddr: int) -> Tuple[int, bytes]:
-        block_index = self._block_index(paddr)
-        counter_index = self._page_index(paddr)
-        cycles = self.nvm.read_access(MetadataRegion.DATA)
+        # Address decode and key lookup, inlined (bounds check + two
+        # shifts + memo probes); the slow helpers run only on the first
+        # touch of an index or for an out-of-range address.
+        if 0 <= paddr < self._as_capacity:
+            block_index = paddr >> self._block_shift
+            counter_index = paddr >> self._page_shift
+        else:
+            block_index = self._block_index(paddr)  # raises AddressError
+            counter_index = self._page_index(paddr)
+        ctr_key = self._counter_keys.get(counter_index)
+        if ctr_key is None:
+            ctr_key = self._counter_key(counter_index)
+        pairs = self._path_key_memo.get(counter_index)
+        if pairs is None:
+            pairs = self._ancestor_path_keys(counter_index)
+        hmac_line = block_index // MACS_PER_LINE
+        hkey = self._hmac_keys.get(hmac_line)
+        if hkey is None:
+            hkey = self._hmac_key(hmac_line)
+
+        cycles = self._read_data()
         self._ctr_data_reads.value += 1
 
-        fetch_cycles, _ = self._fetch_metadata(self._counter_key(counter_index))
-        cycles += fetch_cycles
+        md_access = self._md_access
+        md_latency = self._md_latency
+        result = md_access(ctr_key)
+        cycles += md_latency
+        if result is not True:
+            cycles += self._fill_miss(ctr_key, self._read_ctr, result)
 
-        # Verification walk: stop at the first trusted anchor.
-        trusted = self.protocol.trusted_register_node
-        for node, key in self._ancestor_path_keys(counter_index):
-            if trusted(node, counter_index):
-                self._ctr_walk_register.value += 1
-                break
-            fetch_cycles, was_hit = self._fetch_metadata(key)
-            cycles += fetch_cycles
-            if was_hit:
-                self._ctr_walk_cache.value += 1
-                break
-        hmac_line = block_index // MACS_PER_LINE
-        fetch_cycles, _ = self._fetch_metadata(self._hmac_key(hmac_line))
-        cycles += fetch_cycles
-        cycles += self.protocol.on_read_authentication(counter_index)
+        # Verification walk: stop at the first trusted anchor. The
+        # per-node register test only matters for protocols with NV
+        # anchors (AMNT's subtree root, BMF's root set); the rest of
+        # the lineup walks a branch-free loop.
+        if self._check_trusted:
+            trusted = self.protocol.trusted_register_node
+            for node, key in pairs:
+                if trusted(node, counter_index):
+                    self._ctr_walk_register.value += 1
+                    break
+                result = md_access(key)
+                if result is True:
+                    cycles += md_latency
+                    self._ctr_walk_cache.value += 1
+                    break
+                cycles += md_latency + self._fill_miss(
+                    key, self._read_tree, result
+                )
+        else:
+            for node, key in pairs:
+                result = md_access(key)
+                if result is True:
+                    cycles += md_latency
+                    self._ctr_walk_cache.value += 1
+                    break
+                cycles += md_latency + self._fill_miss(
+                    key, self._read_tree, result
+                )
+
+        result = md_access(hkey)
+        cycles += md_latency
+        if result is not True:
+            cycles += self._fill_miss(hkey, self._read_hmac, result)
+        hook = self._read_auth_hook
+        if hook is not None:
+            cycles += hook(counter_index)
 
         plaintext = b""
         if self.functional:
@@ -425,9 +588,23 @@ class MemoryEncryptionEngine:
         posted, and the protocol's fence-ordered bookkeeping is charged
         on the critical path.
         """
-        block_index = self._block_index(paddr)
-        counter_index = self._page_index(paddr)
-        block_base = self.address_space.block_base(paddr)
+        if 0 <= paddr < self._as_capacity:
+            block_index = paddr >> self._block_shift
+            counter_index = paddr >> self._page_shift
+        else:
+            block_index = self._block_index(paddr)  # raises AddressError
+            counter_index = self._page_index(paddr)
+        ctr_key = self._counter_keys.get(counter_index)
+        if ctr_key is None:
+            ctr_key = self._counter_key(counter_index)
+        pairs = self._path_key_memo.get(counter_index)
+        if pairs is None:
+            pairs = self._ancestor_path_keys(counter_index)
+        path = self._path_memo[counter_index]
+        hmac_line = block_index // MACS_PER_LINE
+        line_key = self._hmac_keys.get(hmac_line)
+        if line_key is None:
+            line_key = self._hmac_key(hmac_line)
         self._ctr_data_writes.value += 1
         probe = self.fault_probe
         if probe is not None:
@@ -439,34 +616,50 @@ class MemoryEncryptionEngine:
             # durably); triggers outside any group raise immediately.
             probe.begin_group()
 
+        md_access = self._md_access
+        md_latency = self._md_latency
+
         # 1. read-modify-write the counter.
-        ctr_key = self._counter_key(counter_index)
-        cycles, _ = self._fetch_metadata(ctr_key)
-        self.mdcache.mark_dirty(ctr_key)
+        result = md_access(ctr_key, True)
+        cycles = md_latency
+        if result is not True:
+            cycles += self._fill_miss(ctr_key, self._read_ctr, result)
         if self.functional:
             self._functional_counter_bump_and_store(
-                paddr, block_base, block_index, counter_index, data
+                paddr,
+                self.address_space.block_base(paddr),
+                block_index,
+                counter_index,
+                data,
             )
 
         # 2. update the HMAC line in cache.
-        line_key = self._hmac_key(block_index // MACS_PER_LINE)
-        fetch_cycles, _ = self._fetch_metadata(line_key)
-        cycles += fetch_cycles
-        self.mdcache.mark_dirty(line_key)
+        result = md_access(line_key, True)
+        cycles += md_latency
+        if result is not True:
+            cycles += self._fill_miss(line_key, self._read_hmac, result)
 
         # 3. update the ancestor path in cache (protocols with an NV
         #    trust anchor stop the update below it).
-        path = self.ancestor_path(counter_index)
-        extent = self.protocol.path_update_extent(counter_index, path)
-        mark_dirty = self.mdcache.mark_dirty
-        for node in extent:
-            key = node_key(node[0], node[1])
-            fetch_cycles, _ = self._fetch_metadata(key)
-            cycles += fetch_cycles
-            mark_dirty(key)
+        read_tree = self._read_tree
+        if self._default_extent:
+            for node, key in pairs:
+                result = md_access(key, True)
+                cycles += md_latency
+                if result is not True:
+                    cycles += self._fill_miss(key, read_tree, result)
+        else:
+            extent = self.protocol.path_update_extent(counter_index, path)
+            node_key_of = self._node_key
+            for node in extent:
+                key = node_key_of(node)
+                result = md_access(key, True)
+                cycles += md_latency
+                if result is not True:
+                    cycles += self._fill_miss(key, read_tree, result)
 
         # 4. the data write itself (posted, unless under a fence).
-        self.nvm.write_access(MetadataRegion.DATA)
+        self._write_data()
         cycles += (
             self.nvm.write_latency_cycles if fenced else self._posted_write_cycles
         )

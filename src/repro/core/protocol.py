@@ -45,6 +45,12 @@ class MetadataPersistencePolicy(ABC):
     #: (the harness pairs ``amnt`` with the modified allocator to form
     #: the paper's ``amnt++`` configuration).
     benefits_from_modified_os: bool = False
+    #: True when :meth:`trusted_register_node` can ever return True
+    #: (AMNT's subtree root register, BMF's persistent root set). The
+    #: engine's verification walk skips the per-node callback entirely
+    #: for the protocols without NV anchors — most of the lineup — so
+    #: the class flag must be set by any subclass overriding the hook.
+    has_trusted_registers: bool = False
 
     def __init__(self, config: SystemConfig) -> None:
         self.config = config

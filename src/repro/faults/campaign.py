@@ -153,13 +153,21 @@ def run_fault_cell(
     """Build, replay, crash, (tamper,) recover, audit — one cell."""
     cell_config = spec.config if spec.config is not None else config
     trace = materialize_trace(spec.trace)
+    # Fault campaigns force eager/functional mode unconditionally — no
+    # flag reaches here. Crash bit-exactness is the whole point of the
+    # oracle, so the hardware-faithful update discipline is not
+    # negotiable even though lazy materialization is equivalence-tested.
     machine = build_machine(
-        cell_config, spec.protocol, functional=True, seed=spec.seed
+        cell_config,
+        spec.protocol,
+        functional=True,
+        seed=spec.seed,
+        integrity_mode="eager",
     )
     mee = machine.mee
-    if not mee.functional:
+    if not mee.functional or mee.tree is None or mee.tree.lazy:
         raise FaultInjectionError(
-            "fault campaigns require functional-mode machines"
+            "fault campaigns require eager functional-mode machines"
         )
     scheduler = CrashScheduler(spec.trigger)
     mee.fault_probe = scheduler

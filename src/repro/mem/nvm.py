@@ -71,6 +71,53 @@ class NVMDevice:
             self._persist_by_region[region].value += 1
         return self._write_cycles
 
+    # -- pre-bound access closures (hot-path callers) -------------------
+
+    def reader(self, region: MetadataRegion):
+        """A zero-argument equivalent of ``read_access(region)``.
+
+        The engine's per-access paths call the device hundreds of
+        thousands of times per run with a region known statically at
+        the call site; binding the counters and latency into a closure
+        removes the per-call region dispatch (including the enum hash
+        behind the per-region counter dict)."""
+        total = self._read_total
+        by_region = self._read_by_region[region]
+        latency = self._read_cycles
+
+        def read() -> int:
+            total.value += 1
+            by_region.value += 1
+            return latency
+
+        return read
+
+    def writer(self, region: MetadataRegion, persist: bool = False):
+        """A zero-argument equivalent of ``write_access(region,
+        persist=...)`` — same counters, same returned latency."""
+        total = self._write_total
+        by_region = self._write_by_region[region]
+        latency = self._write_cycles
+        if not persist:
+
+            def write() -> int:
+                total.value += 1
+                by_region.value += 1
+                return latency
+
+            return write
+        persist_total = self._persist_total
+        persist_by_region = self._persist_by_region[region]
+
+        def persist_write() -> int:
+            total.value += 1
+            by_region.value += 1
+            persist_total.value += 1
+            persist_by_region.value += 1
+            return latency
+
+        return persist_write
+
     # -- content plumbing (functional mode) ----------------------------
 
     def load(self, region: MetadataRegion, key: object, width: int = 64) -> bytes:

@@ -57,6 +57,11 @@ class BuddyAllocator:
         self.total_pages = total_pages
         self.max_order = max_order
         self.stats = StatRegistry("buddy")
+        # List surgery runs on every page fault and churn burst:
+        # pre-resolve the counters the accounting below bumps.
+        self._instr = self.stats.counter("instructions")
+        self._ctr_allocs = self.stats.counter("allocations")
+        self._ctr_frees = self.stats.counter("frees")
         #: free_area[i] — deque of pfns of free chunks of order i.
         #: Head (index 0) is the allocation point, like the list head
         #: Linux pops from.
@@ -71,7 +76,7 @@ class BuddyAllocator:
     # -- internal list surgery (instruction-accounted) --------------------
 
     def _charge(self, instructions: int) -> None:
-        self.stats.add("instructions", instructions)
+        self._instr.value += instructions
 
     def _push(self, pfn: int, order: int, to_head: bool = True) -> None:
         if to_head:
@@ -122,7 +127,7 @@ class BuddyAllocator:
             buddy = pfn + (1 << search)
             self._push(buddy, search)
             self._charge(INSTRUCTIONS_PER_SPLIT)
-        self.stats.add("allocations")
+        self._ctr_allocs.value += 1
         return pfn
 
     def free_pages(self, pfn: int, order: int = 0) -> None:
@@ -141,7 +146,7 @@ class BuddyAllocator:
             pfn = min(pfn, buddy)
             order += 1
         self._push(pfn, order)
-        self.stats.add("frees")
+        self._ctr_frees.value += 1
 
     # -- introspection ----------------------------------------------------
 

@@ -48,10 +48,22 @@ class MemoryManager:
         self.stats = StatRegistry("mm")
         self._processes: Dict[int, Process] = {}
         # translate() runs once per trace record: resolve the fault
-        # counter once and keep a flat pid -> page-table map so the
-        # common case is two dict probes and an integer multiply.
+        # counter once and keep, per process, a flat virtual-page ->
+        # physical-base mirror of the page table so the common case is
+        # two dict probes, a shift, and an add. The PageTable stays the
+        # authoritative mapping (release_process walks it); the mirror
+        # is dropped whenever its process is.
         self._page_faults = self.stats.counter("page_faults")
         self._tables: Dict[int, PageTable] = {}
+        self._bases: Dict[int, Dict[int, int]] = {}
+        # Shift/mask decode when the page size allows it (it always
+        # does under the validated configs; the divmod fallback keeps
+        # odd hand-built managers working).
+        if page_bytes > 0 and page_bytes & (page_bytes - 1) == 0:
+            self._page_shift: Optional[int] = page_bytes.bit_length() - 1
+        else:
+            self._page_shift = None
+        self._page_mask = page_bytes - 1
 
     @property
     def modified_os(self) -> bool:
@@ -64,26 +76,39 @@ class MemoryManager:
             existing = Process(pid, PageTable(self.page_bytes))
             self._processes[pid] = existing
             self._tables[pid] = existing.page_table
+            self._bases[pid] = {
+                vpage: frame * self.page_bytes
+                for vpage, frame in existing.page_table.mapped_pages()
+            }
         return existing
 
     def translate(self, pid: int, vaddr: int) -> int:
         """Virtual to physical byte address, faulting pages in on
         demand from the buddy allocator."""
-        table = self._tables.get(pid)
-        if table is None:
-            table = self.process(pid).page_table
-        paddr = table.translate(vaddr)
-        if paddr is not None:
-            return paddr
+        bases = self._bases.get(pid)
+        if bases is None:
+            self.process(pid)
+            bases = self._bases[pid]
+        shift = self._page_shift
+        if shift is not None:
+            vpage = vaddr >> shift
+            offset = vaddr & self._page_mask
+        else:
+            vpage, offset = divmod(vaddr, self.page_bytes)
+        base = bases.get(vpage)
+        if base is not None:
+            return base + offset
         frame = self.allocator.alloc_pages(order=0)
-        table.map(vaddr // self.page_bytes, frame)
+        self._tables[pid].map(vpage, frame)
+        bases[vpage] = page_base = frame * self.page_bytes
         self._page_faults.value += 1
-        return frame * self.page_bytes + (vaddr % self.page_bytes)
+        return page_base + offset
 
     def release_process(self, pid: int) -> int:
         """Tear down a process, freeing every frame (reclamation)."""
         process = self._processes.pop(pid, None)
         self._tables.pop(pid, None)
+        self._bases.pop(pid, None)
         if process is None:
             return 0
         freed = 0

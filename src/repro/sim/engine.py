@@ -27,7 +27,19 @@ from repro.errors import PowerFailure, SimulationError
 from repro.sim.machine import Machine
 from repro.sim.results import SimulationResult
 from repro.util.rng import Seed, make_rng
-from repro.workloads.trace import Trace
+from repro.workloads.trace import ColumnarAccesses, Trace
+
+
+def _trace_columns(trace: Trace):
+    """The trace's raw (vaddr, pid, think, flags) columns.
+
+    Falls back to building columns on the fly for a trace whose
+    ``accesses`` was replaced with a plain record list.
+    """
+    accesses = trace.accesses
+    if not isinstance(accesses, ColumnarAccesses):
+        accesses = ColumnarAccesses(accesses)
+    return accesses.columns()
 
 #: Modeled kernel instructions per demand-paging fault (trap, allocator
 #: call, page-table update). Only Table 2's instruction ratios consume
@@ -62,14 +74,18 @@ def simulate(
     write_block = mee.write_block
     churn = mm.churn
 
+    # The loop iterates the trace's raw columns: four machine integers
+    # per record via zip, no per-record object or attribute lookups.
+    # Flags pack is_write in bit 0 and flush in bit 1.
+    vaddrs, pids, thinks, flag_col = _trace_columns(trace)
+
     cycles = 0
     app_instructions = 0
     position = 0
-    for access in trace.accesses:
+    for vaddr, pid, think, flags in zip(vaddrs, pids, thinks, flag_col):
         position += 1
-        think = access.think_cycles
-        is_write = access.is_write
-        paddr = translate(access.pid, access.vaddr)
+        is_write = flags & 1
+        paddr = translate(pid, vaddr)
         traffic = llc_access(paddr, is_write)
         cycles += think + llc_latency
         app_instructions += think + 1
@@ -77,7 +93,7 @@ def simulate(
             cycles += read_block(traffic.fill_block * block_bytes)
         for victim_block in traffic.writeback_blocks:
             cycles += write_block(victim_block * block_bytes)
-        if is_write and access.flush:
+        if is_write and flags & 2:
             # CLWB + fence: the store is pushed to memory now, and the
             # core waits for the (protocol-dependent) persist to finish
             # — the path in-memory storage applications live on.
@@ -184,23 +200,25 @@ def drive_memory_boundary(
     write_block = mee.write_block
     churn = mm.churn
 
+    vaddrs, pids, thinks, flag_col = _trace_columns(trace)
     position = 0
     pending: Optional[Tuple[int, Optional[bytes], bytes]] = None
     try:
-        for access in trace.accesses:
+        for vaddr, pid, flags in zip(vaddrs, pids, flag_col):
             if scheduler is not None:
                 scheduler.on_access(position)
-            paddr = translate(access.pid, access.vaddr)
+            paddr = translate(pid, vaddr)
             base = block_base_of(paddr)
-            if access.is_write:
+            if flags & 1:
+                fenced = bool(flags & 2)
                 if functional:
                     payload = replay_payload(position, block_bytes)
                     pending = (base, golden.get(base), payload)
-                    write_block(base, data=payload, fenced=access.flush)
+                    write_block(base, data=payload, fenced=fenced)
                     golden[base] = payload
                     pending = None
                 else:
-                    write_block(base, fenced=access.flush)
+                    write_block(base, fenced=fenced)
             elif functional:
                 data = mee.read_block_data(base)
                 if verify_reads and data != golden.get(base, zero_block):

@@ -29,7 +29,7 @@ import os
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.config import SystemConfig
+from repro.config import INTEGRITY_MODES, SystemConfig
 from repro.errors import ConfigValidationError
 from repro.sim.engine import simulate
 from repro.sim.machine import build_machine
@@ -56,6 +56,12 @@ class SweepCell:
     scatter_span_chunks: int = 0
     churn_interval: int = 16384
     config: Optional[SystemConfig] = None
+    #: Build the machine with functional (real-crypto) state. Timing
+    #: sweeps leave this off; functional equivalence checks turn it on.
+    functional: bool = False
+    #: BMT update discipline for functional cells ("eager"/"lazy");
+    #: results are bit-identical either way (see repro.integrity.bmt).
+    integrity_mode: str = "eager"
 
 
 def validate_cells(cells: Sequence[SweepCell]) -> None:
@@ -85,6 +91,12 @@ def validate_cells(cells: Sequence[SweepCell]) -> None:
                 "cell.scatter_span_chunks",
                 f"cannot be negative, got {cell.scatter_span_chunks}",
             )
+        if cell.integrity_mode not in INTEGRITY_MODES:
+            raise ConfigValidationError(
+                "cell.integrity_mode",
+                f"unknown mode {cell.integrity_mode!r}; "
+                f"known: {INTEGRITY_MODES}",
+            )
 
 
 def run_cell(cell: SweepCell, config: SystemConfig) -> SimulationResult:
@@ -94,8 +106,10 @@ def run_cell(cell: SweepCell, config: SystemConfig) -> SimulationResult:
     machine = build_machine(
         cell_config,
         cell.protocol,
+        functional=cell.functional,
         seed=cell.seed,
         scatter_span_chunks=cell.scatter_span_chunks,
+        integrity_mode=cell.integrity_mode,
     )
     return simulate(
         machine, trace, seed=cell.seed, churn_interval=cell.churn_interval

@@ -16,11 +16,11 @@ effect (Figure 3b) AMNT++ counteracts.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.util.rng import Seed
 from repro.workloads.synthetic import WorkloadProfile, generate_trace
-from repro.workloads.trace import MemoryAccess, Trace
+from repro.workloads.trace import ColumnarAccesses, Trace
 
 
 def interleave(traces: Sequence[Trace], name: str = "") -> Trace:
@@ -30,20 +30,31 @@ def interleave(traces: Sequence[Trace], name: str = "") -> Trace:
     label = name or "+".join(trace.name for trace in traces)
     clocks = [0] * len(traces)
     positions = [0] * len(traces)
-    merged: List[MemoryAccess] = []
-    remaining = sum(len(trace) for trace in traces)
+    columns = [trace.accesses.columns() for trace in traces]
+    lengths = [len(trace) for trace in traces]
+    merged = ColumnarAccesses()
+    out_vaddr = merged.vaddr.append
+    out_pid = merged.pid.append
+    out_think = merged.think.append
+    out_flags = merged.flags.append
+    remaining = sum(lengths)
     while remaining:
         # Pick the runnable trace with the smallest virtual clock.
         candidate = -1
-        for i, trace in enumerate(traces):
-            if positions[i] >= len(trace):
+        for i in range(len(traces)):
+            if positions[i] >= lengths[i]:
                 continue
             if candidate < 0 or clocks[i] < clocks[candidate]:
                 candidate = i
-        access = traces[candidate].accesses[positions[candidate]]
-        positions[candidate] += 1
-        clocks[candidate] += access.think_cycles + 1
-        merged.append(access)
+        vaddr_col, pid_col, think_col, flags_col = columns[candidate]
+        pos = positions[candidate]
+        think = think_col[pos]
+        out_vaddr(vaddr_col[pos])
+        out_pid(pid_col[pos])
+        out_think(think)
+        out_flags(flags_col[pos])
+        positions[candidate] = pos + 1
+        clocks[candidate] += think + 1
         remaining -= 1
     return Trace(label, merged)
 

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Tuple, Union
 
 from repro.util.rng import Seed
-from repro.workloads.trace import MemoryAccess, Trace
+from repro.workloads.trace import ColumnarAccesses, Trace
 
 #: Known profile suites, resolved lazily to avoid import cycles.
 _SUITES: Dict[str, Callable[[str], object]] = {}
@@ -137,11 +137,14 @@ def multiprogram_spec(
 
 def literal_spec(trace: Trace) -> TraceSpec:
     """Wrap an already-materialized trace (no recipe available)."""
+    cols = trace.accesses
     payload = (
         trace.name,
         tuple(
-            (a.vaddr, a.is_write, a.pid, a.think_cycles, a.flush)
-            for a in trace.accesses
+            (vaddr, bool(flags & 1), pid, think, bool(flags & 2))
+            for vaddr, pid, think, flags in zip(
+                cols.vaddr, cols.pid, cols.think, cols.flags
+            )
         ),
     )
     return TraceSpec(kind="literal", payload=payload)
@@ -165,9 +168,13 @@ def _materialize(spec: TraceSpec) -> Trace:
         )
     if spec.kind == "literal":
         name, records = spec.payload
-        return Trace(
-            name, [MemoryAccess(*record) for record in records]
-        )
+        cols = ColumnarAccesses()
+        for vaddr, is_write, pid, think, flush in records:
+            cols.vaddr.append(vaddr)
+            cols.pid.append(pid)
+            cols.think.append(think)
+            cols.flags.append((1 if is_write else 0) | (2 if flush else 0))
+        return Trace(name, cols)
     raise ValueError(f"unknown trace spec kind {spec.kind!r}")
 
 

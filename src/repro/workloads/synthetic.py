@@ -28,8 +28,10 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from array import array
+
 from repro.util.rng import Seed, make_rng
-from repro.workloads.trace import MemoryAccess, Trace
+from repro.workloads.trace import ColumnarAccesses, Trace
 
 BLOCK_BYTES = 64
 
@@ -109,28 +111,46 @@ def generate_trace(
     # some interior structure, not necessarily the first allocation.
     hot_start = (num_blocks // 3) if num_blocks > hot_blocks * 2 else 0
 
-    accesses = []
+    # Generate straight into the columnar arrays: the loop appends raw
+    # integers instead of building one MemoryAccess object per record.
+    num = profile.num_accesses
+    vaddr_col = array("q")
+    flags_col = array("B")
+    vaddr_append = vaddr_col.append
+    flags_append = flags_col.append
+    random = rng.random
+    randrange = rng.randrange
+    base_vaddr = profile.base_vaddr
+    write_fraction = profile.write_fraction
+    sequential_fraction = profile.sequential_fraction
+    hot_access_fraction = profile.hot_access_fraction
+    relocate_probability = profile.window_relocate_probability
+
     window_blocks = max(1, int(num_blocks * profile.stream_window_fraction))
     window_start = hot_start
-    stream_offset = rng.randrange(window_blocks)
-    for _ in range(profile.num_accesses):
-        if rng.random() < profile.sequential_fraction:
+    stream_offset = randrange(window_blocks)
+    for _ in range(num):
+        if random() < sequential_fraction:
             stream_offset += 1
             if stream_offset >= window_blocks:
                 stream_offset = 0
-                if rng.random() < profile.window_relocate_probability:
+                if random() < relocate_probability:
                     # Phase change: the tiled iteration moves on.
-                    window_start = rng.randrange(num_blocks)
+                    window_start = randrange(num_blocks)
             block = (window_start + stream_offset) % num_blocks
-        elif rng.random() < profile.hot_access_fraction:
-            block = hot_start + rng.randrange(hot_blocks)
+        elif random() < hot_access_fraction:
+            block = hot_start + randrange(hot_blocks)
             if block >= num_blocks:
                 block -= num_blocks
         else:
-            block = rng.randrange(num_blocks)
-        vaddr = profile.base_vaddr + block * BLOCK_BYTES
-        is_write = rng.random() < profile.write_fraction
-        accesses.append(
-            MemoryAccess(vaddr, is_write, pid, profile.think_cycles)
-        )
-    return Trace(profile.name, accesses)
+            block = randrange(num_blocks)
+        vaddr_append(base_vaddr + block * BLOCK_BYTES)
+        flags_append(1 if random() < write_fraction else 0)
+    # pid and think are constant per profile trace: build the columns in
+    # C with array repetition instead of appending per record.
+    pid_col = array("q", [pid]) * num
+    think_col = array("q", [profile.think_cycles]) * num
+    columns = ColumnarAccesses(
+        _columns=(vaddr_col, pid_col, think_col, flags_col)
+    )
+    return Trace(profile.name, columns)

@@ -1,0 +1,223 @@
+"""Lazy BMT mode: materialized state must be bit-identical to eager.
+
+The lazy discipline defers digest computation along dirtied paths; its
+entire contract is that *materialization is unobservable* — after
+``materialize_all`` (or any on-demand materialization), every register,
+overlay digest, persisted byte, and simulation statistic matches what
+an eager tree produced from the same operation sequence. These tests
+check that contract at three levels: the bare tree (property-based),
+the full machine across every registered protocol, and the fault
+campaign's crash/recover oracle.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import default_config, validate_integrity_mode
+from repro.core.protocol import protocol_names
+from repro.crypto.engine import RealCryptoEngine
+from repro.errors import ConfigError, FaultInjectionError
+from repro.faults.campaign import (
+    FaultCampaignSpec,
+    default_fault_config,
+    run_campaign,
+    run_fault_cell,
+)
+from repro.integrity.bmt import BonsaiMerkleTree
+from repro.integrity.geometry import TreeGeometry
+from repro.mem.backend import MetadataRegion, SparseMemory
+from repro.sim.parallel import SweepCell, run_cell
+from repro.util.units import MB
+from repro.workloads.registry import profile_spec
+from repro.workloads.trace import MemoryAccess, Trace
+
+
+def small_tree(mode):
+    geometry = TreeGeometry.from_config(default_config(capacity_bytes=4 * MB))
+    return BonsaiMerkleTree(
+        geometry, RealCryptoEngine(), SparseMemory(), mode=mode
+    )
+
+
+def bumped(tree, index):
+    block = tree.current_counter(index).copy()
+    block.bump(index % len(block.minors))
+    return block
+
+
+def apply_ops(tree, ops):
+    for index, persist in ops:
+        index %= tree.geometry.num_counter_blocks
+        tree.set_counter(index, bumped(tree, index), persist=False)
+        if persist:
+            tree.persist_path(index)
+
+
+def assert_trees_identical(lazy, eager):
+    lazy.materialize_all()
+    assert lazy.root_register == eager.root_register
+    assert lazy._volatile_nodes == eager._volatile_nodes
+    assert sorted(lazy.dirty_nodes()) == sorted(eager.dirty_nodes())
+    assert sorted(lazy.dirty_counters()) == sorted(eager.dirty_counters())
+    tree_region = MetadataRegion.TREE
+    lazy_persisted = dict(
+        (key, lazy.backend.read(tree_region, key))
+        for key in lazy.backend.keys(tree_region)
+    )
+    eager_persisted = dict(
+        (key, eager.backend.read(tree_region, key))
+        for key in eager.backend.keys(tree_region)
+    )
+    assert lazy_persisted == eager_persisted
+
+
+class TestModeValidation:
+    def test_known_modes_accepted(self):
+        validate_integrity_mode("eager")
+        validate_integrity_mode("lazy")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            validate_integrity_mode("deferred")
+
+    def test_tree_rejects_unknown_mode(self):
+        with pytest.raises(ConfigError):
+            small_tree("sometimes")
+
+
+class TestTreeEquivalence:
+    """Property: lazy-then-materialize == eager, op-for-op."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=4095), st.booleans()),
+            max_size=40,
+        )
+    )
+    def test_materialized_state_matches_eager(self, ops):
+        lazy, eager = small_tree("lazy"), small_tree("eager")
+        apply_ops(lazy, ops)
+        apply_ops(eager, ops)
+        assert_trees_identical(lazy, eager)
+
+    def test_on_demand_materialization_path(self):
+        # Reading a node's bytes must materialize just enough: the
+        # returned digest equals the eager tree's without a full
+        # materialize_all having run.
+        lazy, eager = small_tree("lazy"), small_tree("eager")
+        apply_ops(lazy, [(7, False), (9, False)])
+        apply_ops(eager, [(7, False), (9, False)])
+        path = lazy.geometry.ancestors_of_counter(7)
+        for node in path:
+            assert lazy.current_node_bytes(node) == eager.current_node_bytes(
+                node
+            )
+
+    def test_verify_counter_forces_consistency(self):
+        lazy = small_tree("lazy")
+        apply_ops(lazy, [(3, True), (3, False)])
+        assert lazy.verify_counter(3).ok
+
+    def test_crash_then_recover_matches_eager(self):
+        # Fully persisted updates: recovery succeeds identically.
+        lazy, eager = small_tree("lazy"), small_tree("eager")
+        ops = [(1, True), (5, True), (1, True)]
+        apply_ops(lazy, ops)
+        apply_ops(eager, ops)
+        lazy.crash()
+        eager.crash()
+        assert lazy.rebuild_all_from_persisted() == eager.rebuild_all_from_persisted()
+        assert lazy.root_register == eager.root_register
+
+    def test_crash_with_lost_updates_fails_identically(self):
+        # Unpersisted dirt lost in the crash: both modes must refuse
+        # the rebuild the same way (root register holds the newer root).
+        from repro.errors import CrashConsistencyError
+
+        lazy, eager = small_tree("lazy"), small_tree("eager")
+        ops = [(1, True), (2, False), (1, False)]
+        apply_ops(lazy, ops)
+        apply_ops(eager, ops)
+        lazy.crash()
+        eager.crash()
+        with pytest.raises(CrashConsistencyError):
+            eager.rebuild_all_from_persisted()
+        with pytest.raises(CrashConsistencyError):
+            lazy.rebuild_all_from_persisted()
+        assert lazy.root_register == eager.root_register
+
+
+@pytest.mark.parametrize("protocol", protocol_names())
+class TestProtocolEquivalence:
+    """Every protocol, functional run: lazy == eager bit-for-bit."""
+
+    def _cell(self, protocol, mode):
+        return SweepCell(
+            protocol=protocol,
+            trace=profile_spec("parsec", "blackscholes", 800, 7),
+            seed=7,
+            functional=True,
+            integrity_mode=mode,
+        )
+
+    def test_simulation_results_identical(self, protocol):
+        config = default_fault_config()
+        eager = run_cell(self._cell(protocol, "eager"), config)
+        lazy = run_cell(self._cell(protocol, "lazy"), config)
+        assert eager == lazy
+
+
+class TestCampaignForcesEager:
+    def test_cell_runner_builds_eager_machines(self):
+        spec = FaultCampaignSpec(
+            protocol="leaf",
+            trace=profile_spec("faults", "hotshift", 400, 7),
+            trigger=None,
+            seed=7,
+        )
+        outcome = run_fault_cell(spec, default_fault_config())
+        assert outcome.verdict in ("baseline", "recovered")
+
+    def test_lazy_machine_rejected_by_guard(self, monkeypatch):
+        import repro.faults.campaign as campaign_module
+
+        real_build = campaign_module.build_machine
+
+        def lazy_build(config, protocol, **kwargs):
+            kwargs["integrity_mode"] = "lazy"
+            return real_build(config, protocol, **kwargs)
+
+        monkeypatch.setattr(campaign_module, "build_machine", lazy_build)
+        spec = FaultCampaignSpec(
+            protocol="leaf",
+            trace=profile_spec("faults", "hotshift", 400, 7),
+            trigger=None,
+            seed=7,
+        )
+        with pytest.raises(FaultInjectionError):
+            run_fault_cell(spec, default_fault_config())
+
+
+class TestLazyMiniCampaign:
+    """Crash/recover sweep stays silent-divergence-free.
+
+    The campaign itself forces eager machines; this is the acceptance
+    check that the lazy refactor did not disturb the crash machinery
+    it shares code with (persist paths, overlay drop, recovery).
+    """
+
+    def test_mini_campaign_no_silent_divergence(self):
+        report = run_campaign(
+            ["leaf", "amnt"],
+            [profile_spec("faults", "hotshift", 600, 7)],
+            crash_every=200,
+            phase_samples=1,
+            tamper_crashes=1,
+            seed=7,
+        )
+        summary = report.summary()
+        assert summary["silent_divergence"] == 0
+        assert not report.anomalies()
+        assert summary["cells"] > 0

@@ -1,0 +1,72 @@
+"""The reference wall-clock benchmark: interleaved best-of-N legs."""
+
+import pytest
+
+from repro.bench.perf import format_report, run_reference_bench
+
+
+@pytest.fixture(scope="module")
+def report():
+    """Tiny grid, two interleaved rounds, all three legs."""
+    return run_reference_bench(
+        workers=1,
+        benchmarks=("blackscholes",),
+        protocols=("leaf", "strict"),
+        accesses=300,
+        output=None,
+        rounds=2,
+    )
+
+
+class TestInterleavedLegs:
+    def test_every_leg_sampled_every_round(self, report):
+        samples = report["samples_seconds"]
+        assert set(samples) == {"serial_uncached", "serial", "parallel"}
+        assert all(len(values) == 2 for values in samples.values())
+
+    def test_headline_is_best_of_rounds(self, report):
+        for leg, values in report["samples_seconds"].items():
+            assert report["timings_seconds"][leg] == pytest.approx(
+                min(values), abs=1e-4
+            )
+
+    def test_timing_method_recorded(self, report):
+        assert report["timing_method"] == {
+            "strategy": "interleaved-best-of",
+            "rounds": 2,
+        }
+
+    def test_speedups_derive_from_best(self, report):
+        timings = report["timings_seconds"]
+        assert report["speedups"]["trace_cache"] == pytest.approx(
+            timings["serial_uncached"] / timings["serial"]
+        )
+
+    def test_skip_uncached_drops_leg(self):
+        report = run_reference_bench(
+            workers=1,
+            benchmarks=("blackscholes",),
+            protocols=("leaf",),
+            accesses=300,
+            output=None,
+            include_uncached=False,
+            rounds=1,
+        )
+        assert report["timings_seconds"]["serial_uncached"] is None
+        assert "serial_uncached" not in report["samples_seconds"]
+        assert report["speedups"]["trace_cache"] is None
+
+    def test_rounds_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_reference_bench(
+                benchmarks=("blackscholes",),
+                protocols=("leaf",),
+                accesses=300,
+                output=None,
+                rounds=0,
+            )
+
+    def test_format_report_shows_samples(self, report):
+        text = format_report(report)
+        assert "best of 2 interleaved round(s)" in text
+        assert "samples:" in text

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from repro.util.units import MB
 from repro.workloads.multiprogram import interleave, multiprogram_trace, pair_label
 from repro.workloads.synthetic import WorkloadProfile, generate_trace
-from repro.workloads.trace import MemoryAccess, Trace
+from repro.workloads.trace import ColumnarAccesses, MemoryAccess, Trace
 
 
 def profile(**overrides):
@@ -180,3 +180,93 @@ def test_generation_total_and_bounds_property(seed):
         prof.base_vaddr <= a.vaddr < prof.base_vaddr + prof.footprint_bytes
         for a in trace
     )
+
+
+class TestColumnarAccesses:
+    def records(self, n=6):
+        return [
+            MemoryAccess(
+                vaddr=64 * i,
+                is_write=bool(i % 2),
+                pid=i % 3,
+                think_cycles=i,
+                flush=(i % 4 == 3),
+            )
+            for i in range(n)
+        ]
+
+    def test_roundtrip_through_columns(self):
+        records = self.records()
+        cols = ColumnarAccesses(records)
+        assert list(cols) == records
+
+    def test_columns_pack_write_and_flush_bits(self):
+        cols = ColumnarAccesses(self.records())
+        _, _, _, flags = cols.columns()
+        for access, packed in zip(self.records(), flags):
+            assert bool(packed & 1) == access.is_write
+            assert bool(packed & 2) == access.flush
+
+    def test_indexing_and_negative_indexing(self):
+        records = self.records()
+        cols = ColumnarAccesses(records)
+        assert cols[0] == records[0]
+        assert cols[-1] == records[-1]
+
+    def test_slicing(self):
+        records = self.records()
+        cols = ColumnarAccesses(records)
+        assert cols[1:4] == records[1:4]
+        assert cols[::2] == records[::2]
+
+    def test_equality_with_list_and_columnar(self):
+        records = self.records()
+        assert ColumnarAccesses(records) == records
+        assert ColumnarAccesses(records) == ColumnarAccesses(records)
+        assert ColumnarAccesses(records) != records[:-1]
+
+    def test_append_matches_list_semantics(self):
+        cols = ColumnarAccesses()
+        for access in self.records():
+            cols.append(access)
+        assert cols == self.records()
+        assert len(cols) == len(self.records())
+
+
+class TestTraceDerivedCaches:
+    def trace(self):
+        return Trace.from_accesses(
+            "unit",
+            [
+                MemoryAccess(4096 * i, i % 2 == 0, 0, 1)
+                for i in range(10)
+            ],
+        )
+
+    def test_write_fraction_cached_value_stable(self):
+        trace = self.trace()
+        assert trace.write_fraction() == trace.write_fraction() == 0.5
+
+    def test_append_invalidates_write_fraction(self):
+        trace = self.trace()
+        assert trace.write_fraction() == 0.5
+        trace.append(MemoryAccess(0, True, 0, 1))
+        assert trace.write_fraction() == pytest.approx(6 / 11)
+
+    def test_append_invalidates_touched_pages(self):
+        trace = self.trace()
+        assert trace.touched_pages() == 10
+        trace.append(MemoryAccess(4096 * 50, True, 0, 1))
+        assert trace.touched_pages() == 11
+
+    def test_append_invalidates_pids(self):
+        trace = self.trace()
+        assert trace.pids() == [0]
+        trace.append(MemoryAccess(0, True, 7, 1))
+        assert trace.pids() == [0, 7]
+
+    def test_footprint_cache_keyed_by_page_size(self):
+        trace = self.trace()
+        assert trace.footprint_pages(4096) == 10
+        assert trace.footprint_pages(8192) == 5
+        assert trace.footprint_pages(4096) == 10
