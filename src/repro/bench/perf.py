@@ -28,6 +28,7 @@ from __future__ import annotations
 import platform
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -37,6 +38,7 @@ from repro.sim.parallel import (
     SweepCell,
     _pool_entry,
     default_workers,
+    precompile_streams,
     run_cell,
     validate_cells,
 )
@@ -53,6 +55,7 @@ from repro.sim.supervisor import (
 from repro.util.atomicio import atomic_write_json
 from repro.util.rng import Seed
 from repro.workloads.registry import (
+    boundary_stream_cache_clear,
     materialize_trace,
     profile_spec,
     trace_cache_clear,
@@ -113,6 +116,26 @@ def _time_serial(cells: Sequence[SweepCell], config: SystemConfig) -> float:
     return elapsed
 
 
+def _time_serial_replay(
+    cells: Sequence[SweepCell], config: SystemConfig
+) -> float:
+    """Serial run through the compile-then-replay path: the data-side
+    hierarchy is walked once per (trace, OS variant) and the compiled
+    boundary stream is replayed into every protocol. The stream cache
+    is cleared first so the leg pays its own compile cost — the number
+    is honest about what a cold grid costs, not just the replays."""
+    replay_cells = [replace(cell, replay=True) for cell in cells]
+    trace_cache_clear()
+    boundary_stream_cache_clear()
+    start = time.perf_counter()
+    precompile_streams(replay_cells, config)
+    for cell in replay_cells:
+        run_cell(cell, config)
+    elapsed = time.perf_counter() - start
+    boundary_stream_cache_clear()
+    return elapsed
+
+
 def _time_parallel(
     cells: Sequence[SweepCell], config: SystemConfig, workers: int
 ) -> float:
@@ -130,36 +153,51 @@ def run_reference_bench(
     seed: Seed = REFERENCE_SEED,
     output: Optional[Path] = Path("BENCH_sweep.json"),
     include_uncached: bool = True,
+    include_replay: bool = True,
     rounds: int = REFERENCE_ROUNDS,
 ) -> Dict[str, object]:
     """Time the reference sweep; optionally write ``BENCH_sweep.json``.
 
     Returns the report dict. ``workers=None`` auto-sizes to the visible
     core count. ``include_uncached=False`` skips the slowest leg (CI
-    smoke runs on tiny grids don't need it). Each of the ``rounds``
-    rounds runs every enabled leg once, interleaved; the headline
-    figure per leg is its best round, with raw samples preserved in
-    ``samples_seconds``.
+    smoke runs on tiny grids don't need it); ``include_replay=False``
+    skips the boundary-replay leg (the ``--no-replay`` escape hatch).
+    Each of the ``rounds`` rounds runs every enabled leg once,
+    interleaved; the headline figure per leg is its best round, with
+    raw samples preserved in ``samples_seconds``.
+
+    On a single visible CPU the parallel leg is *skipped*, recorded
+    with status ``skipped_single_cpu`` and null timings: a process
+    pool on one core only adds fork/pickle overhead, and an earlier
+    BENCH_sweep.json dutifully recorded the resulting 0.76x "speedup"
+    as if it measured the runner rather than the container.
     """
     if rounds < 1:
         raise ValueError(f"rounds must be >= 1, got {rounds}")
     config = default_config()
-    workers = default_workers() if workers is None else max(1, workers)
+    visible_cpus = default_workers()
+    workers = visible_cpus if workers is None else max(1, workers)
     cells = reference_cells(benchmarks, protocols, accesses, seed)
 
     # Warm what should be warm: interpreter, imports, one materialized
     # trace — so the legs differ only in the strategy under test.
     materialize_trace(cells[0].trace)
 
+    run_parallel = visible_cpus > 1
     legs = []
     if include_uncached:
         legs.append(
             ("serial_uncached", lambda: _time_serial_uncached(cells, config))
         )
     legs.append(("serial", lambda: _time_serial(cells, config)))
-    legs.append(
-        ("parallel", lambda: _time_parallel(cells, config, workers))
-    )
+    if include_replay:
+        legs.append(
+            ("serial_replay", lambda: _time_serial_replay(cells, config))
+        )
+    if run_parallel:
+        legs.append(
+            ("parallel", lambda: _time_parallel(cells, config, workers))
+        )
     samples: Dict[str, List[float]] = {name: [] for name, _ in legs}
     for _ in range(rounds):
         for name, leg in legs:
@@ -169,7 +207,12 @@ def run_reference_bench(
         min(samples["serial_uncached"]) if include_uncached else None
     )
     serial_seconds = min(samples["serial"])
-    parallel_seconds = min(samples["parallel"])
+    serial_replay = min(samples["serial_replay"]) if include_replay else None
+    parallel_seconds = min(samples["parallel"]) if run_parallel else None
+
+    leg_status = {name: "measured" for name, _ in legs}
+    if not run_parallel:
+        leg_status["parallel"] = "skipped_single_cpu"
 
     report: Dict[str, object] = {
         "grid": {
@@ -182,16 +225,18 @@ def run_reference_bench(
         "environment": {
             "python": sys.version.split()[0],
             "platform": platform.platform(),
-            "visible_cpus": default_workers(),
+            "visible_cpus": visible_cpus,
             "workers": workers,
         },
         "timing_method": {
             "strategy": "interleaved-best-of",
             "rounds": rounds,
         },
+        "legs": leg_status,
         "timings_seconds": {
             "serial_uncached": serial_uncached,
             "serial": serial_seconds,
+            "serial_replay": serial_replay,
             "parallel": parallel_seconds,
         },
         "samples_seconds": {
@@ -204,8 +249,15 @@ def run_reference_bench(
                 if serial_uncached is not None and serial_seconds > 0
                 else None
             ),
+            "replay_vs_serial": (
+                serial_seconds / serial_replay
+                if serial_replay is not None and serial_replay > 0
+                else None
+            ),
             "parallel_vs_serial": (
-                serial_seconds / parallel_seconds if parallel_seconds > 0 else None
+                serial_seconds / parallel_seconds
+                if parallel_seconds is not None and parallel_seconds > 0
+                else None
             ),
         },
         "throughput": {
@@ -213,7 +265,9 @@ def run_reference_bench(
                 len(cells) / serial_seconds if serial_seconds > 0 else None
             ),
             "parallel_cells_per_second": (
-                len(cells) / parallel_seconds if parallel_seconds > 0 else None
+                len(cells) / parallel_seconds
+                if parallel_seconds is not None and parallel_seconds > 0
+                else None
             ),
         },
     }
@@ -244,6 +298,7 @@ def run_resilient_sweep(
     accesses: int = REFERENCE_ACCESSES,
     seed: Seed = REFERENCE_SEED,
     policy: Optional[SupervisionPolicy] = None,
+    replay: bool = True,
 ) -> Dict[str, object]:
     """Run the reference grid under supervision, journaled in ``run_dir``.
 
@@ -254,12 +309,26 @@ def run_resilient_sweep(
     the end. A run killed at any point and restarted with
     ``resume=True`` skips the journaled cells and produces a final
     artifact bit-identical to an uninterrupted run.
+
+    With ``replay=True`` (the default) cells run through the compiled
+    boundary-stream path — the data side is simulated once per
+    (benchmark, OS variant) in the supervisor parent and replayed into
+    every protocol cell; results are bit-identical to the direct path,
+    so journals from either mode resume interchangeably (cell keys do
+    not encode the execution strategy). ``replay=False`` is the
+    ``--no-replay`` escape hatch.
     """
     from repro.bench.export import export_experiment
 
     config = default_config()
     cells = reference_cells(benchmarks, protocols, accesses, seed)
+    if replay:
+        cells = [replace(cell, replay=True) for cell in cells]
     validate_cells(cells)
+    if replay:
+        # Compile each distinct data side once up front so fork-started
+        # supervised workers inherit the warm stream cache.
+        precompile_streams(cells, config)
     keys = [sweep_cell_key(i, cell) for i, cell in enumerate(cells)]
     parameters = {
         "benchmarks": list(benchmarks),
@@ -313,6 +382,7 @@ def format_report(report: Dict[str, object]) -> str:
     speedups = report["speedups"]
     method = report.get("timing_method") or {}
     samples = report.get("samples_seconds") or {}
+    leg_status = report.get("legs") or {}
     lines = [
         f"reference sweep: {grid['cells']} cells "
         f"({len(grid['benchmarks'])} benchmarks x "
@@ -338,9 +408,21 @@ def format_report(report: Dict[str, object]) -> str:
     if timings["serial_uncached"] is not None:
         lines.append(leg_line("serial, no trace cache ", "serial_uncached"))
     lines.append(leg_line("serial, trace cache    ", "serial"))
-    lines.append(leg_line("parallel               ", "parallel"))
+    if timings.get("serial_replay") is not None:
+        lines.append(leg_line("serial, boundary replay", "serial_replay"))
+    if timings.get("parallel") is not None:
+        lines.append(leg_line("parallel               ", "parallel"))
+    elif leg_status.get("parallel") == "skipped_single_cpu":
+        lines.append(
+            "parallel               :  skipped (1 visible cpu — a pool "
+            "would only measure fork overhead)"
+        )
     if speedups["trace_cache"] is not None:
         lines.append(f"trace-cache speedup    : {speedups['trace_cache']:8.2f}x")
+    if speedups.get("replay_vs_serial") is not None:
+        lines.append(
+            f"replay speedup         : {speedups['replay_vs_serial']:8.2f}x"
+        )
     if speedups["parallel_vs_serial"] is not None:
         lines.append(
             f"parallel speedup       : {speedups['parallel_vs_serial']:8.2f}x"

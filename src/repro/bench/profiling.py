@@ -8,7 +8,11 @@ protocol) cell and attributes wall-clock to the pipeline's phases:
 
 * ``trace_gen`` — synthesizing the access trace (cold, cache cleared);
 * ``setup`` — building the machine (protocol, MEE, LLC, OS);
-* ``engine`` — the full simulate() call, inside which two sub-phases
+* ``boundary_compile`` — compiling the data side to a boundary-event
+  stream (``replay=True`` runs only; identically 0.0 on the direct
+  path, kept in the schema so documents stay comparable);
+* ``engine`` — the full simulate() (or, under ``replay=True``, the
+  simulate_from_stream() replay) call, inside which two sub-phases
   are carved out by instrumenting the live objects:
 
   * ``mee`` — time inside ``read_block``/``write_block`` (the
@@ -44,7 +48,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.config import SystemConfig, default_config, validate_integrity_mode
-from repro.sim.engine import simulate
+from repro.sim.engine import simulate, simulate_from_stream
 from repro.sim.machine import build_machine
 from repro.util.atomicio import atomic_write_json
 from repro.workloads.registry import (
@@ -55,12 +59,21 @@ from repro.workloads.registry import (
 )
 
 #: Schema tag embedded in every profile artifact; bump on breaking
-#: layout changes so downstream readers can dispatch.
-PROFILE_SCHEMA = "repro.profile/v1"
+#: layout changes so downstream readers can dispatch. v2 added the
+#: ``boundary_compile`` phase and the ``run.replay`` flag.
+PROFILE_SCHEMA = "repro.profile/v2"
 
 #: Phases with directly measured timers (``engine_other`` and ``total``
 #: are derived). Order is the pipeline order, used for display.
-MEASURED_PHASES = ("trace_gen", "setup", "engine", "mee", "bmt", "export")
+MEASURED_PHASES = (
+    "trace_gen",
+    "setup",
+    "boundary_compile",
+    "engine",
+    "mee",
+    "bmt",
+    "export",
+)
 
 #: Methods whose cumulative time defines the ``mee`` sub-phase. The
 #: engine hoists these bound methods once per run, so instance-level
@@ -170,6 +183,7 @@ def profile_run(
     config: Optional[SystemConfig] = None,
     capture_cprofile: bool = True,
     top: int = 25,
+    replay: bool = False,
 ) -> Dict[str, Any]:
     """Profile one simulation cell; returns the artifact document.
 
@@ -177,6 +191,12 @@ def profile_run(
     (same spec, same seed), so its :class:`SimulationResult` numbers
     are directly comparable with sweep output — the profile just says
     where the host CPU time went while producing them.
+
+    With ``replay=True`` the cell runs through the compile-then-replay
+    pipeline: ``boundary_compile`` times a cold
+    :func:`~repro.sim.replay.compile_boundary_stream` and ``engine``
+    times the stream replay into the MEE — so the split shows what a
+    sweep's first protocol pays versus every subsequent one.
     """
     validate_integrity_mode(integrity_mode)
     config = config or default_config()
@@ -196,6 +216,19 @@ def profile_run(
             integrity_mode=integrity_mode,
         )
 
+    stream = None
+    if replay:
+        from repro.core.protocol import protocol_uses_modified_os
+        from repro.sim.replay import compile_boundary_stream
+
+        with clock.measure("boundary_compile"):
+            stream = compile_boundary_stream(
+                trace,
+                config,
+                seed=seed,
+                modified_os=protocol_uses_modified_os(protocol),
+            )
+
     _instrument(machine.mee, _MEE_METHODS, clock, "mee")
     tree = getattr(machine.mee, "tree", None)
     if tree is not None:
@@ -206,7 +239,10 @@ def profile_run(
         profiler.enable()
     try:
         with clock.measure("engine"):
-            result = simulate(machine, trace, seed=seed)
+            if replay:
+                result = simulate_from_stream(stream, machine)
+            else:
+                result = simulate(machine, trace, seed=seed)
     finally:
         if profiler is not None:
             profiler.disable()
@@ -224,7 +260,13 @@ def profile_run(
     phases["bmt"] = bmt
     phases["mee"] = min(max(phases["mee"] - bmt, 0.0), engine)
     phases["engine_other"] = max(engine - phases["mee"] - bmt, 0.0)
-    total = phases["trace_gen"] + phases["setup"] + engine + phases["export"]
+    total = (
+        phases["trace_gen"]
+        + phases["setup"]
+        + phases["boundary_compile"]
+        + engine
+        + phases["export"]
+    )
     phases["total"] = total
     phases = {name: round(value, 6) for name, value in phases.items()}
     fractions = {
@@ -244,6 +286,7 @@ def profile_run(
             "functional": functional,
             "integrity_mode": integrity_mode,
             "cprofile": capture_cprofile,
+            "replay": replay,
         },
         "phases": phases,
         "phase_fractions": fractions,
@@ -263,7 +306,7 @@ def write_profile_artifact(document: Dict[str, Any], path) -> Path:
 
 
 def validate_profile_document(document: Any) -> List[str]:
-    """Check a profile artifact against the v1 schema.
+    """Check a profile artifact against the v2 schema.
 
     Returns a list of human-readable problems; an empty list means the
     document is valid. Used by the CI smoke job and the test suite, and
@@ -288,6 +331,7 @@ def validate_profile_document(document: Any) -> List[str]:
             ("seed", int),
             ("functional", bool),
             ("integrity_mode", str),
+            ("replay", bool),
         ):
             if not isinstance(run.get(key), kinds):
                 problems.append(f"run.{key} missing or mistyped")
@@ -330,24 +374,25 @@ def format_profile(document: Dict[str, Any], top: int = 10) -> str:
     lines = [
         f"profile: {run['suite']}/{run['benchmark']} under {run['protocol']}"
         f"  ({run['accesses']} accesses, seed {run['seed']}, "
-        f"functional={run['functional']}, mode={run['integrity_mode']})",
+        f"functional={run['functional']}, mode={run['integrity_mode']}, "
+        f"replay={run.get('replay', False)})",
         "",
         "phase attribution (seconds, fraction of total):",
     ]
     phases = document["phases"]
     fractions = document["phase_fractions"]
-    order = ("trace_gen", "setup", "engine", "export")
+    order = ("trace_gen", "setup", "boundary_compile", "engine", "export")
     for name in order:
         lines.append(
-            f"  {name:<13s} {phases[name]:>9.4f}s  {fractions[name]:>6.1%}"
+            f"  {name:<16s} {phases[name]:>9.4f}s  {fractions[name]:>6.1%}"
         )
         if name == "engine":
             for sub in ("mee", "bmt", "engine_other"):
                 lines.append(
-                    f"    {sub:<11s} {phases[sub]:>9.4f}s  "
+                    f"    {sub:<14s} {phases[sub]:>9.4f}s  "
                     f"{fractions[sub]:>6.1%}"
                 )
-    lines.append(f"  {'total':<13s} {phases['total']:>9.4f}s")
+    lines.append(f"  {'total':<16s} {phases['total']:>9.4f}s")
     hotspots = document.get("hotspots") or []
     if hotspots:
         lines.append("")

@@ -19,7 +19,9 @@ Commands:
 
 ``sweep``, ``experiment``, and ``perf`` accept ``--workers N`` to fan
 the sweep grid out over a process pool; results are bit-identical to
-the serial run.
+the serial run. ``sweep`` and ``perf`` accept ``--no-replay`` to
+bypass boundary-event compilation and re-walk the data side per
+protocol (see docs/PERFORMANCE.md); results are identical either way.
 
 ``perf`` and ``faults`` accept ``--run-dir DIR`` to journal every
 completed cell (crash-safe, resumable with ``--resume DIR``) and
@@ -81,6 +83,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         scatter_span_chunks=args.scatter_chunks,
         workers=args.workers,
+        replay=not args.no_replay,
     )
     rows = [
         {"protocol": name, "normalized_cycles": value}
@@ -307,6 +310,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
             benchmarks=tuple(args.benchmarks),
             accesses=args.accesses,
             policy=_policy_from_args(args),
+            replay=not args.no_replay,
         )
         print(
             f"resilient sweep: {outcome['completed']}/{outcome['cells']} "
@@ -325,6 +329,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
         accesses=args.accesses,
         output=Path(args.output) if args.output else None,
         include_uncached=not args.skip_uncached,
+        include_replay=not args.no_replay,
         rounds=args.rounds,
     )
     print(format_report(report))
@@ -360,6 +365,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         integrity_mode=args.integrity_mode,
         capture_cprofile=not args.no_cprofile,
         top=args.top,
+        replay=args.replay,
     )
     print(format_profile(document, top=args.top))
     if args.output:
@@ -516,6 +522,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="processes for the sweep grid (1 = in-process serial)",
     )
+    sweep.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="re-walk the data side per protocol instead of compiling "
+        "one boundary stream (results are identical either way)",
+    )
     sweep.set_defaults(handler=cmd_sweep)
 
     experiment = commands.add_parser(
@@ -569,6 +581,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="interleaved rounds per leg; reported time is the best",
     )
+    perf.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="skip the boundary-replay leg (timing mode) or run the "
+        "resilient sweep through the direct per-protocol path",
+    )
     _add_resilience_args(perf)
     perf.set_defaults(handler=cmd_perf)
 
@@ -597,6 +615,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cprofile",
         action="store_true",
         help="skip cProfile capture (pure phase timers, less overhead)",
+    )
+    prof.add_argument(
+        "--replay",
+        action="store_true",
+        help="profile the compile-then-replay pipeline (splits out the "
+        "boundary_compile phase) instead of the direct path",
     )
     prof.add_argument(
         "--top", type=int, default=15, help="hotspot rows to keep/print"

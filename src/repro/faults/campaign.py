@@ -157,6 +157,10 @@ def run_fault_cell(
     # flag reaches here. Crash bit-exactness is the whole point of the
     # oracle, so the hardware-faithful update discipline is not
     # negotiable even though lazy materialization is equivalence-tested.
+    # Boundary-stream replay (repro.sim.replay) is likewise bypassed:
+    # a crash ordinal counts *accesses*, not boundary events, and the
+    # injector must observe the live LLC/OS state at the crash point,
+    # so every fault cell keeps the full direct simulate() path.
     machine = build_machine(
         cell_config,
         spec.protocol,

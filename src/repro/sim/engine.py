@@ -131,6 +131,63 @@ def simulate(
 
 
 # ----------------------------------------------------------------------
+# compiled-stream replay (the sweep fast path)
+# ----------------------------------------------------------------------
+
+
+def simulate_from_stream(
+    stream, machine: Machine, flush_llc_at_end: bool = False
+) -> SimulationResult:
+    """Drive ``machine``'s MEE/protocol layer from a compiled
+    :class:`~repro.sim.replay.BoundaryStream`; returns the result.
+
+    Bit-identical to :func:`simulate` run on the trace the stream was
+    compiled from, provided the stream's data-side parameters (config
+    geometry, seed, churn, OS variant) match the machine's — the
+    stream-cache key in :mod:`repro.workloads.registry` encodes exactly
+    that contract. The machine's own LLC and memory manager are left
+    untouched; every data-side quantity the result needs was captured
+    at compile time and is spliced in here.
+    """
+    mee = machine.mee
+    llc_latency = machine.config.llc.access_latency_cycles
+    read_block = mee.read_block
+    write_block = mee.write_block
+
+    kinds = stream.kind
+    addrs = stream.addr
+    if not flush_llc_at_end:
+        limit = stream.main_events
+        kinds = kinds[:limit]
+        addrs = addrs[:limit]
+
+    cycles = stream.think_total + stream.accesses * llc_latency
+    for kind, addr in zip(kinds, addrs):
+        if kind == 0:  # EVENT_FILL
+            cycles += read_block(addr)
+        elif kind == 1:  # EVENT_WRITEBACK
+            cycles += write_block(addr)
+        else:  # EVENT_PERSIST
+            cycles += write_block(addr, fenced=True)
+
+    os_instructions = stream.os_instructions
+    return SimulationResult(
+        workload=stream.name,
+        protocol=mee.protocol.display_name,
+        cycles=cycles,
+        accesses=stream.accesses,
+        llc_hit_rate=stream.llc_hit_rate(),
+        mdcache_hit_rate=mee.mdcache.hit_rate(),
+        instructions=stream.app_instructions + os_instructions,
+        os_instructions=os_instructions,
+        page_faults=stream.page_faults,
+        nvm_stats=mee.nvm.stats.snapshot(),
+        protocol_stats=mee.protocol.stats.snapshot(),
+        mee_stats=mee.stats.snapshot(),
+    )
+
+
+# ----------------------------------------------------------------------
 # memory-boundary replay (the fault-injection campaign's driver)
 # ----------------------------------------------------------------------
 

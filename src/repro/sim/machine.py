@@ -11,7 +11,7 @@ systems from a :class:`~repro.config.SystemConfig` and a protocol name.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.cache.hierarchy import DataCache
 from repro.config import SystemConfig
@@ -21,6 +21,8 @@ from repro.core.protocol import (
     make_protocol,
     protocol_uses_modified_os,
 )
+from repro.integrity.geometry import TreeGeometry
+from repro.mem.address import AddressSpace
 from repro.os.amntpp import AMNTPlusPlusRestructurer
 from repro.os.buddy import BuddyAllocator
 from repro.os.process import MemoryManager
@@ -43,6 +45,69 @@ class Machine:
     @property
     def modified_os(self) -> bool:
         return self.mm.modified_os
+
+
+def build_data_side(
+    config: SystemConfig,
+    modified_os: bool,
+    seed: Seed = 0,
+    scatter_span_chunks: int = 0,
+    max_order: int = 10,
+    reclaim_interval: int = 64,
+    address_space: Optional[AddressSpace] = None,
+    geometry: Optional[TreeGeometry] = None,
+) -> Tuple[DataCache, MemoryManager]:
+    """Build the protocol-independent data side: LLC + memory manager.
+
+    This is the half of the machine the boundary-event compiler
+    (:mod:`repro.sim.replay`) simulates once per trace — everything in
+    front of the memory encryption engine. :func:`build_machine` and the
+    compiler both wire it through this one function so the direct and
+    compiled paths cannot drift: same allocator aging, same modified-OS
+    boot restructuring, same stats baseline.
+
+    ``address_space``/``geometry`` let :func:`build_machine` reuse the
+    MEE's instances; when omitted they are derived from ``config``
+    (identical values — both are pure functions of the config).
+    """
+    if address_space is None:
+        address_space = AddressSpace(
+            config.pcm.capacity_bytes,
+            block_bytes=config.security.block_bytes,
+            page_bytes=config.security.page_bytes,
+        )
+    llc = DataCache(config.llc, address_space)
+
+    page_bytes = config.security.page_bytes
+    total_pages = config.pcm.capacity_bytes // page_bytes
+    allocator = BuddyAllocator(total_pages, max_order=max_order)
+    if scatter_span_chunks:
+        allocator.scatter(
+            make_rng(f"{seed}/scatter"), span_chunks=scatter_span_chunks
+        )
+
+    restructurer: Optional[AMNTPlusPlusRestructurer] = None
+    if modified_os:
+        if geometry is None:
+            geometry = TreeGeometry.from_config(config)
+        region_bytes = geometry.region_bytes(config.amnt.subtree_level)
+        pages_per_region = max(1, region_bytes // page_bytes)
+        restructurer = AMNTPlusPlusRestructurer(
+            region_of_pfn=lambda pfn: pfn // pages_per_region,
+            reclaim_interval=reclaim_interval,
+        )
+        # The modified OS has been reordering free lists since boot; the
+        # machine starts in that steady state rather than discovering it
+        # mid-measurement.
+        restructurer.restructure(allocator)
+    mm = MemoryManager(
+        allocator, page_bytes=page_bytes, restructurer=restructurer
+    )
+    # Boot-time work (scatter aging, the modified OS's initial free-list
+    # state) is setup, not measurement: instruction accounting starts at
+    # the region of interest, as the paper's Table 2 methodology does.
+    allocator.stats.reset()
+    return llc, mm
 
 
 def build_machine(
@@ -72,32 +137,14 @@ def build_machine(
     mee = MemoryEncryptionEngine(
         config, protocol, functional=functional, integrity_mode=integrity_mode
     )
-
-    llc = DataCache(config.llc, mee.address_space)
-
-    page_bytes = config.security.page_bytes
-    total_pages = config.pcm.capacity_bytes // page_bytes
-    allocator = BuddyAllocator(total_pages, max_order=max_order)
-    if scatter_span_chunks:
-        allocator.scatter(
-            make_rng(f"{seed}/scatter"), span_chunks=scatter_span_chunks
-        )
-
-    restructurer: Optional[AMNTPlusPlusRestructurer] = None
-    if protocol_uses_modified_os(protocol_name):
-        region_bytes = mee.geometry.region_bytes(config.amnt.subtree_level)
-        pages_per_region = max(1, region_bytes // page_bytes)
-        restructurer = AMNTPlusPlusRestructurer(
-            region_of_pfn=lambda pfn: pfn // pages_per_region,
-            reclaim_interval=reclaim_interval,
-        )
-        # The modified OS has been reordering free lists since boot; the
-        # machine starts in that steady state rather than discovering it
-        # mid-measurement.
-        restructurer.restructure(allocator)
-    mm = MemoryManager(allocator, page_bytes=page_bytes, restructurer=restructurer)
-    # Boot-time work (scatter aging, the modified OS's initial free-list
-    # state) is setup, not measurement: instruction accounting starts at
-    # the region of interest, as the paper's Table 2 methodology does.
-    allocator.stats.reset()
+    llc, mm = build_data_side(
+        config,
+        modified_os=protocol_uses_modified_os(protocol_name),
+        seed=seed,
+        scatter_span_chunks=scatter_span_chunks,
+        max_order=max_order,
+        reclaim_interval=reclaim_interval,
+        address_space=mee.address_space,
+        geometry=mee.geometry,
+    )
     return Machine(config=config, mee=mee, llc=llc, mm=mm)

@@ -31,12 +31,14 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.config import INTEGRITY_MODES, SystemConfig
 from repro.errors import ConfigValidationError
-from repro.sim.engine import simulate
+from repro.sim.engine import simulate, simulate_from_stream
 from repro.sim.machine import build_machine
 from repro.sim.results import SimulationResult
 from repro.util.rng import Seed
 from repro.workloads.registry import (
     TraceSpec,
+    boundary_stream_spec,
+    materialize_boundary_stream,
     materialize_trace,
     validate_trace_spec,
 )
@@ -62,6 +64,11 @@ class SweepCell:
     #: BMT update discipline for functional cells ("eager"/"lazy");
     #: results are bit-identical either way (see repro.integrity.bmt).
     integrity_mode: str = "eager"
+    #: Drive the MEE from a compiled boundary stream instead of
+    #: re-walking the data-side hierarchy (see repro.sim.replay).
+    #: Bit-identical to the direct path; cells sharing a (trace,
+    #: data-side geometry) then share one compiled stream per process.
+    replay: bool = False
 
 
 def validate_cells(cells: Sequence[SweepCell]) -> None:
@@ -99,10 +106,51 @@ def validate_cells(cells: Sequence[SweepCell]) -> None:
             )
 
 
+def stream_spec_for(cell: SweepCell, config: SystemConfig):
+    """The boundary-stream cache key of one replay cell.
+
+    Centralized so every caller (run_cell, the precompile warmers, the
+    bench legs) derives the identical key from a cell — the modified-OS
+    bit comes from the protocol registry, everything else from the cell
+    and its effective config.
+    """
+    from repro.core.protocol import protocol_uses_modified_os
+
+    cell_config = cell.config if cell.config is not None else config
+    return boundary_stream_spec(
+        cell.trace,
+        cell_config,
+        seed=cell.seed,
+        churn_interval=cell.churn_interval,
+        scatter_span_chunks=cell.scatter_span_chunks,
+        modified_os=protocol_uses_modified_os(cell.protocol),
+    )
+
+
+def precompile_streams(cells: Sequence[SweepCell], config: SystemConfig) -> int:
+    """Warm the process-wide stream cache for every replay cell.
+
+    Returns the number of distinct streams now cached for the grid.
+    Called in the pool parent before fan-out so fork-started workers
+    inherit compiled streams instead of each compiling their own;
+    spawn-started workers still compile at most once per (trace,
+    geometry) per process through the same cache.
+    """
+    specs = set()
+    for cell in cells:
+        if not cell.replay:
+            continue
+        spec = stream_spec_for(cell, config)
+        specs.add(spec)
+        materialize_boundary_stream(
+            spec, cell.config if cell.config is not None else config
+        )
+    return len(specs)
+
+
 def run_cell(cell: SweepCell, config: SystemConfig) -> SimulationResult:
     """Execute one cell in the current process."""
     cell_config = cell.config if cell.config is not None else config
-    trace = materialize_trace(cell.trace)
     machine = build_machine(
         cell_config,
         cell.protocol,
@@ -111,6 +159,12 @@ def run_cell(cell: SweepCell, config: SystemConfig) -> SimulationResult:
         scatter_span_chunks=cell.scatter_span_chunks,
         integrity_mode=cell.integrity_mode,
     )
+    if cell.replay:
+        stream = materialize_boundary_stream(
+            stream_spec_for(cell, config), cell_config
+        )
+        return simulate_from_stream(stream, machine)
+    trace = materialize_trace(cell.trace)
     return simulate(
         machine, trace, seed=cell.seed, churn_interval=cell.churn_interval
     )
@@ -196,4 +250,10 @@ class ParallelSweepRunner:
         """Execute every cell; results arrive in cell order."""
         cells = list(cells)
         validate_cells(cells)
+        if self.workers > 1 and len(cells) > 1:
+            # Compile each distinct data side once in the parent so
+            # fork-started workers inherit the warm stream cache (a
+            # spawn pool recompiles per worker — still once per
+            # process, amortized over that worker's protocol cells).
+            precompile_streams(cells, config)
         return self.map(_pool_entry, [(cell, config) for cell in cells])

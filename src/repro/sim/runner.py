@@ -17,12 +17,18 @@ import math
 from typing import Dict, Iterable, Optional, Sequence, Union
 
 from repro.config import SystemConfig
-from repro.sim.engine import simulate
+from repro.sim.engine import simulate, simulate_from_stream
 from repro.sim.machine import build_machine
 from repro.sim.parallel import ParallelSweepRunner, SweepCell
 from repro.sim.results import SimulationResult, normalized_cycles
 from repro.util.rng import Seed
-from repro.workloads.registry import TraceSpec, literal_spec, materialize_trace
+from repro.workloads.registry import (
+    TraceSpec,
+    boundary_stream_spec,
+    literal_spec,
+    materialize_boundary_stream,
+    materialize_trace,
+)
 from repro.workloads.trace import Trace
 
 #: The protocol lineup of the paper's runtime figures (4, 5, 8).
@@ -40,6 +46,7 @@ def run_protocol_sweep(
     scatter_span_chunks: int = 0,
     churn_interval: int = 16384,
     workers: int = 1,
+    replay: bool = True,
 ) -> Dict[str, SimulationResult]:
     """Run ``trace`` under each protocol on a fresh machine.
 
@@ -48,6 +55,13 @@ def run_protocol_sweep(
     whole trace is pickled once per worker); pass a
     :class:`~repro.workloads.registry.TraceSpec` so workers regenerate
     it locally instead.
+
+    With ``replay=True`` (the default) the protocol-independent data
+    side is compiled to a boundary-event stream once per OS variant and
+    replayed into every protocol's MEE (see :mod:`repro.sim.replay`) —
+    bit-identical results, one LLC walk instead of ``len(protocols)``.
+    ``replay=False`` keeps the direct path (the ``--no-replay`` escape
+    hatch; fault campaigns never come through here at all).
     """
     _validate_sweep(trace, protocols, churn_interval)
     if workers > 1:
@@ -59,16 +73,61 @@ def run_protocol_sweep(
                 seed=seed,
                 scatter_span_chunks=scatter_span_chunks,
                 churn_interval=churn_interval,
+                replay=replay,
             )
             for name in protocols
         ]
         results = ParallelSweepRunner(workers=workers).run(cells, config)
         return dict(zip(protocols, results))
 
+    results_by_name: Dict[str, SimulationResult] = {}
+    if replay:
+        from repro.core.protocol import protocol_uses_modified_os
+        from repro.sim.replay import compile_boundary_stream
+
+        # One compiled stream per OS variant present in the lineup
+        # (stock vs AMNT++-modified placement), shared by every
+        # protocol on that variant. TraceSpec sweeps go through the
+        # process-wide cache; raw traces compile sweep-locally.
+        streams: Dict[bool, object] = {}
+        for name in protocols:
+            modified = protocol_uses_modified_os(name)
+            stream = streams.get(modified)
+            if stream is None:
+                if isinstance(trace, TraceSpec):
+                    stream = materialize_boundary_stream(
+                        boundary_stream_spec(
+                            trace,
+                            config,
+                            seed=seed,
+                            churn_interval=churn_interval,
+                            scatter_span_chunks=scatter_span_chunks,
+                            modified_os=modified,
+                        ),
+                        config,
+                    )
+                else:
+                    stream = compile_boundary_stream(
+                        trace,
+                        config,
+                        seed=seed,
+                        churn_interval=churn_interval,
+                        scatter_span_chunks=scatter_span_chunks,
+                        modified_os=modified,
+                    )
+                streams[modified] = stream
+            machine = build_machine(
+                config,
+                name,
+                seed=seed,
+                scatter_span_chunks=scatter_span_chunks,
+            )
+            results_by_name[name] = simulate_from_stream(stream, machine)
+        return results_by_name
+
     materialized = (
         materialize_trace(trace) if isinstance(trace, TraceSpec) else trace
     )
-    results_by_name: Dict[str, SimulationResult] = {}
     for name in protocols:
         machine = build_machine(
             config,
@@ -119,6 +178,7 @@ def sweep_normalized(
     scatter_span_chunks: int = 0,
     baseline: str = "volatile",
     workers: int = 1,
+    replay: bool = True,
 ) -> Dict[str, float]:
     """Normalized cycles (the paper's y-axis) for each protocol."""
     protocols = tuple(protocols)
@@ -131,6 +191,7 @@ def sweep_normalized(
         seed=seed,
         scatter_span_chunks=scatter_span_chunks,
         workers=workers,
+        replay=replay,
     )
     return normalized_cycles(results, baseline=baseline)
 

@@ -207,3 +207,133 @@ def trace_cache_clear() -> None:
 
 def trace_cache_size() -> int:
     return len(_TRACE_CACHE)
+
+
+# ----------------------------------------------------------------------
+# boundary-stream cache (compile the data side once, replay per protocol)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class BoundaryStreamSpec:
+    """Cache identity of one compiled boundary stream.
+
+    Everything that shapes the data-side simulation — and therefore the
+    compiled events — is a field: the trace recipe, the engine seed and
+    churn schedule, allocator aging, the OS variant, and the data-side
+    geometry (LLC shape, block/page sizes, device capacity, and the
+    tree shape the modified OS's region mapping derives from). Two
+    sweep cells with equal specs replay the same stream object; any
+    geometry change produces a different key and forces a recompile.
+
+    Like :class:`TraceSpec`, the spec is frozen, hashable, and
+    picklable, so pool workers rebuild streams from it through the same
+    process-wide cache discipline as traces.
+    """
+
+    trace: TraceSpec
+    seed: Union[int, str] = 0
+    churn_interval: int = 16384
+    churn_bursts: int = 2
+    churn_pages_per_burst: int = 32
+    scatter_span_chunks: int = 0
+    modified_os: bool = False
+    llc_capacity_bytes: int = 0
+    llc_line_bytes: int = 0
+    llc_associativity: int = 0
+    block_bytes: int = 0
+    page_bytes: int = 0
+    capacity_bytes: int = 0
+    counters_per_block: int = 0
+    tree_arity: int = 0
+    subtree_level: int = 0
+    max_order: int = 10
+    reclaim_interval: int = 64
+
+
+def boundary_stream_spec(
+    trace: TraceSpec,
+    config,
+    seed: Seed = 0,
+    churn_interval: int = 16384,
+    churn_bursts: int = 2,
+    churn_pages_per_burst: int = 32,
+    scatter_span_chunks: int = 0,
+    modified_os: bool = False,
+    max_order: int = 10,
+    reclaim_interval: int = 64,
+) -> BoundaryStreamSpec:
+    """The stream-cache key for ``trace`` under ``config``'s data side.
+
+    ``config`` is a :class:`~repro.config.SystemConfig`; only its
+    data-side geometry lands in the key, so two configs differing in —
+    say — metadata-cache shape share one compiled stream (the data side
+    cannot observe that difference), while an LLC or page-size change
+    forces a recompile.
+    """
+    return BoundaryStreamSpec(
+        trace=trace,
+        seed=seed,
+        churn_interval=churn_interval,
+        churn_bursts=churn_bursts,
+        churn_pages_per_burst=churn_pages_per_burst,
+        scatter_span_chunks=scatter_span_chunks,
+        modified_os=modified_os,
+        llc_capacity_bytes=config.llc.capacity_bytes,
+        llc_line_bytes=config.llc.line_bytes,
+        llc_associativity=config.llc.associativity,
+        block_bytes=config.security.block_bytes,
+        page_bytes=config.security.page_bytes,
+        capacity_bytes=config.pcm.capacity_bytes,
+        counters_per_block=config.security.counters_per_block,
+        tree_arity=config.security.tree_arity,
+        subtree_level=config.amnt.subtree_level,
+        max_order=max_order,
+        reclaim_interval=reclaim_interval,
+    )
+
+
+#: Process-wide compiled-stream cache, disciplined like _TRACE_CACHE:
+#: workers forked from a warm parent inherit it; spawned workers fill
+#: their own on first use. Values are immutable once compiled.
+_STREAM_CACHE: Dict[BoundaryStreamSpec, object] = {}
+
+
+def materialize_boundary_stream(spec: BoundaryStreamSpec, config, cache: bool = True):
+    """Compile (or fetch) the boundary stream ``spec`` describes.
+
+    ``config`` must be the config ``spec`` was derived from (use
+    :func:`boundary_stream_spec`); the key carries the data-side
+    geometry for cache identity, the config carries the full object the
+    compiler needs. Streams are treated as immutable once compiled.
+    """
+    if cache:
+        stream = _STREAM_CACHE.get(spec)
+        if stream is not None:
+            return stream
+    from repro.sim.replay import compile_boundary_stream
+
+    stream = compile_boundary_stream(
+        materialize_trace(spec.trace, cache=cache),
+        config,
+        seed=spec.seed,
+        churn_interval=spec.churn_interval,
+        churn_bursts=spec.churn_bursts,
+        churn_pages_per_burst=spec.churn_pages_per_burst,
+        scatter_span_chunks=spec.scatter_span_chunks,
+        modified_os=spec.modified_os,
+        max_order=spec.max_order,
+        reclaim_interval=spec.reclaim_interval,
+    )
+    if cache:
+        _STREAM_CACHE[spec] = stream
+    return stream
+
+
+def boundary_stream_cache_clear() -> None:
+    """Drop every compiled stream (tests, long-lived servers)."""
+    _STREAM_CACHE.clear()
+
+
+def boundary_stream_cache_size() -> int:
+    return len(_STREAM_CACHE)

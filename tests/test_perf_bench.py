@@ -3,11 +3,12 @@
 import pytest
 
 from repro.bench.perf import format_report, run_reference_bench
+from repro.sim.parallel import default_workers
 
 
 @pytest.fixture(scope="module")
 def report():
-    """Tiny grid, two interleaved rounds, all three legs."""
+    """Tiny grid, two interleaved rounds, every applicable leg."""
     return run_reference_bench(
         workers=1,
         benchmarks=("blackscholes",),
@@ -21,7 +22,10 @@ def report():
 class TestInterleavedLegs:
     def test_every_leg_sampled_every_round(self, report):
         samples = report["samples_seconds"]
-        assert set(samples) == {"serial_uncached", "serial", "parallel"}
+        expected = {"serial_uncached", "serial", "serial_replay"}
+        if report["legs"].get("parallel") == "measured":
+            expected.add("parallel")
+        assert set(samples) == expected
         assert all(len(values) == 2 for values in samples.values())
 
     def test_headline_is_best_of_rounds(self, report):
@@ -41,6 +45,9 @@ class TestInterleavedLegs:
         assert report["speedups"]["trace_cache"] == pytest.approx(
             timings["serial_uncached"] / timings["serial"]
         )
+        assert report["speedups"]["replay_vs_serial"] == pytest.approx(
+            timings["serial"] / timings["serial_replay"]
+        )
 
     def test_skip_uncached_drops_leg(self):
         report = run_reference_bench(
@@ -56,6 +63,21 @@ class TestInterleavedLegs:
         assert "serial_uncached" not in report["samples_seconds"]
         assert report["speedups"]["trace_cache"] is None
 
+    def test_skip_replay_drops_leg(self):
+        report = run_reference_bench(
+            workers=1,
+            benchmarks=("blackscholes",),
+            protocols=("leaf",),
+            accesses=300,
+            output=None,
+            include_uncached=False,
+            include_replay=False,
+            rounds=1,
+        )
+        assert report["timings_seconds"]["serial_replay"] is None
+        assert "serial_replay" not in report["samples_seconds"]
+        assert report["speedups"]["replay_vs_serial"] is None
+
     def test_rounds_must_be_positive(self):
         with pytest.raises(ValueError):
             run_reference_bench(
@@ -70,3 +92,17 @@ class TestInterleavedLegs:
         text = format_report(report)
         assert "best of 2 interleaved round(s)" in text
         assert "samples:" in text
+
+    def test_parallel_leg_honest_on_single_cpu(self, report):
+        """A pool on one visible core measures fork overhead, not the
+        runner — the leg must be skipped and say so, never recorded as
+        a sub-1.0x 'speedup'."""
+        if default_workers() > 1:
+            assert report["legs"]["parallel"] == "measured"
+            assert report["timings_seconds"]["parallel"] is not None
+        else:
+            assert report["legs"]["parallel"] == "skipped_single_cpu"
+            assert report["timings_seconds"]["parallel"] is None
+            assert report["speedups"]["parallel_vs_serial"] is None
+            assert "parallel" not in report["samples_seconds"]
+            assert "skipped" in format_report(report)

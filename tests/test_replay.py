@@ -1,0 +1,256 @@
+"""Boundary-event compilation: compiled replay == direct simulation.
+
+The replay pipeline (repro.sim.replay) simulates the protocol-agnostic
+data side once and replays the resulting boundary-event stream into
+every protocol's MEE. Its entire correctness claim is *bit-identity*
+with the direct path, so these tests compare full
+:class:`SimulationResult` objects — and, for functional machines, the
+persisted tree bytes and root registers left behind — never summaries.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.perf import reference_cells
+from repro.config import default_config
+from repro.core.mee import MetadataRegion
+from repro.core.protocol import protocol_names, protocol_uses_modified_os
+from repro.sim.engine import simulate, simulate_from_stream
+from repro.sim.machine import build_machine
+from repro.sim.parallel import (
+    ParallelSweepRunner,
+    SweepCell,
+    precompile_streams,
+    run_cell,
+    stream_spec_for,
+)
+from repro.sim.replay import (
+    EVENT_FILL,
+    EVENT_PERSIST,
+    EVENT_WRITEBACK,
+    BoundaryStream,
+    compile_boundary_stream,
+)
+from repro.sim.runner import run_protocol_sweep
+from repro.util.units import MB
+from repro.workloads.registry import (
+    boundary_stream_cache_clear,
+    boundary_stream_cache_size,
+    boundary_stream_spec,
+    materialize_boundary_stream,
+    materialize_trace,
+    profile_spec,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_stream_cache():
+    boundary_stream_cache_clear()
+    yield
+    boundary_stream_cache_clear()
+
+
+def machine_tree_state(machine):
+    """The integrity state a functional run leaves behind: the root
+    register plus every persisted tree node byte-for-byte."""
+    tree = machine.mee.tree
+    if tree is None:
+        return None
+    tree.materialize_all()
+    region = MetadataRegion.TREE
+    return (
+        tree.root_register,
+        {key: tree.backend.read(region, key) for key in tree.backend.keys(region)},
+    )
+
+
+class TestFunctionalEquivalence:
+    """Every registered protocol, both BMT disciplines, real crypto:
+    the replayed MEE must end in the same state the direct walk does."""
+
+    @pytest.mark.parametrize("integrity_mode", ["eager", "lazy"])
+    @pytest.mark.parametrize("protocol", protocol_names())
+    def test_replay_matches_direct(self, small_config, protocol, integrity_mode):
+        trace = materialize_trace(profile_spec("parsec", "blackscholes", 600, 7))
+        modified = protocol_uses_modified_os(protocol)
+
+        direct_machine = build_machine(
+            small_config, protocol, functional=True,
+            seed=7, integrity_mode=integrity_mode,
+        )
+        direct = simulate(direct_machine, trace, seed=7)
+
+        stream = compile_boundary_stream(
+            trace, small_config, seed=7, modified_os=modified
+        )
+        replay_machine = build_machine(
+            small_config, protocol, functional=True,
+            seed=7, integrity_mode=integrity_mode,
+        )
+        replayed = simulate_from_stream(stream, replay_machine)
+
+        assert replayed == direct
+        assert machine_tree_state(replay_machine) == machine_tree_state(
+            direct_machine
+        )
+
+    def test_flush_at_end_equivalence(self, small_config):
+        trace = materialize_trace(profile_spec("parsec", "canneal", 600, 7))
+        direct = simulate(
+            build_machine(small_config, "strict", functional=True, seed=7),
+            trace, seed=7, flush_llc_at_end=True,
+        )
+        stream = compile_boundary_stream(trace, small_config, seed=7)
+        replayed = simulate_from_stream(
+            stream,
+            build_machine(small_config, "strict", functional=True, seed=7),
+            flush_llc_at_end=True,
+        )
+        assert replayed == direct
+
+
+class TestStreamContents:
+    def test_event_kinds_and_flush_tail(self, small_config):
+        trace = materialize_trace(profile_spec("parsec", "canneal", 600, 7))
+        stream = compile_boundary_stream(trace, small_config, seed=7)
+        assert isinstance(stream, BoundaryStream)
+        assert stream.accesses == 600
+        assert set(stream.kind) <= {EVENT_FILL, EVENT_WRITEBACK, EVENT_PERSIST}
+        # The end-of-run flush tail sits after main_events, marked with
+        # the sentinel pid, and is replayed only under flush_llc_at_end.
+        assert stream.main_events <= len(stream)
+        tail_pids = set(stream.pid[stream.main_events:])
+        assert tail_pids <= {-1}
+
+    def test_modified_os_changes_placement(self, small_config):
+        """amnt++'s allocator restructuring must show up in the compiled
+        physical addresses — one stream per OS variant, never shared."""
+        trace = materialize_trace(profile_spec("parsec", "canneal", 2000, 7))
+        stock = compile_boundary_stream(
+            trace, small_config, seed=7, modified_os=False
+        )
+        modified = compile_boundary_stream(
+            trace, small_config, seed=7, modified_os=True
+        )
+        assert list(stock.addr) != list(modified.addr)
+
+
+class TestStreamCache:
+    def test_same_spec_returns_same_object(self, small_config):
+        spec = boundary_stream_spec(
+            profile_spec("parsec", "blackscholes", 400, 7), small_config, seed=7
+        )
+        first = materialize_boundary_stream(spec, small_config)
+        second = materialize_boundary_stream(spec, small_config)
+        assert first is second
+        assert boundary_stream_cache_size() == 1
+
+    def test_geometry_change_forces_recompile(self, small_config):
+        trace_spec = profile_spec("parsec", "blackscholes", 400, 7)
+        base = boundary_stream_spec(trace_spec, small_config, seed=7)
+        bigger_llc = replace(
+            small_config,
+            llc=replace(
+                small_config.llc,
+                capacity_bytes=small_config.llc.capacity_bytes * 2,
+            ),
+        )
+        resized = boundary_stream_spec(trace_spec, bigger_llc, seed=7)
+        assert resized != base
+        first = materialize_boundary_stream(base, small_config)
+        second = materialize_boundary_stream(resized, bigger_llc)
+        assert first is not second
+        assert boundary_stream_cache_size() == 2
+
+    def test_metadata_geometry_is_not_in_the_key(self, small_config):
+        """Configs differing only on the MEE side share one stream —
+        the data side cannot observe the metadata-cache shape."""
+        trace_spec = profile_spec("parsec", "blackscholes", 400, 7)
+        other = replace(
+            small_config,
+            metadata_cache=replace(
+                small_config.metadata_cache,
+                capacity_bytes=small_config.metadata_cache.capacity_bytes * 2,
+            ),
+        )
+        assert boundary_stream_spec(
+            trace_spec, small_config, seed=7
+        ) == boundary_stream_spec(trace_spec, other, seed=7)
+
+    def test_precompile_counts_distinct_data_sides(self, small_config):
+        cells = [
+            SweepCell(
+                protocol=name,
+                trace=profile_spec("parsec", "blackscholes", 400, 7),
+                seed=7,
+                replay=True,
+            )
+            for name in ("volatile", "leaf", "amnt", "amnt++")
+        ]
+        # Three stock-OS protocols share one stream; amnt++ gets its own.
+        assert precompile_streams(cells, small_config) == 2
+        assert boundary_stream_cache_size() == 2
+
+
+class TestSweepPaths:
+    def test_run_protocol_sweep_replay_default_matches_direct(self, small_config):
+        trace_spec = profile_spec("parsec", "bodytrack", 800, 7)
+        protocols = ("volatile", "strict", "amnt", "amnt++")
+        replayed = run_protocol_sweep(trace_spec, small_config, protocols, seed=7)
+        direct = run_protocol_sweep(
+            trace_spec, small_config, protocols, seed=7, replay=False
+        )
+        assert replayed == direct
+
+    def test_parallel_replay_matches_serial_direct(self, small_config):
+        cells = [
+            SweepCell(
+                protocol=name,
+                trace=profile_spec("parsec", "bodytrack", 800, 7),
+                seed=7,
+                replay=True,
+            )
+            for name in ("volatile", "strict", "amnt")
+        ]
+        parallel = ParallelSweepRunner(workers=2).run(cells, small_config)
+        serial = [
+            run_cell(replace(cell, replay=False), small_config) for cell in cells
+        ]
+        assert parallel == serial
+
+    def test_stream_spec_keys_off_protocol_os_variant(self, small_config):
+        trace_spec = profile_spec("parsec", "bodytrack", 800, 7)
+        amnt = SweepCell(protocol="amnt", trace=trace_spec, seed=7, replay=True)
+        amntpp = SweepCell(
+            protocol="amnt++", trace=trace_spec, seed=7, replay=True
+        )
+        leaf = SweepCell(protocol="leaf", trace=trace_spec, seed=7, replay=True)
+        assert stream_spec_for(amnt, small_config) == stream_spec_for(
+            leaf, small_config
+        )
+        assert stream_spec_for(amnt, small_config) != stream_spec_for(
+            amntpp, small_config
+        )
+
+
+@pytest.mark.slow
+class TestReferenceGridProperty:
+    """The acceptance property: every cell of the full reference grid
+    (3 benchmarks x 6 figure protocols, 20k accesses) is bit-identical
+    through the compiled-replay path, in both integrity modes."""
+
+    @pytest.mark.parametrize("integrity_mode", ["eager", "lazy"])
+    def test_full_grid_bit_identical(self, integrity_mode):
+        config = default_config()
+        cells = [
+            replace(cell, integrity_mode=integrity_mode)
+            for cell in reference_cells()
+        ]
+        assert len(cells) == 18
+        for cell in cells:
+            direct = run_cell(cell, config)
+            replayed = run_cell(replace(cell, replay=True), config)
+            assert replayed == direct, (
+                f"replay diverged for {cell.protocol}/{cell.trace.label()}"
+            )
