@@ -32,6 +32,7 @@ from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from repro import telemetry
 from repro.config import SystemConfig, default_config
 from repro.sim.parallel import (
     ParallelSweepRunner,
@@ -72,6 +73,10 @@ REFERENCE_SEED = 2024
 
 #: Interleaved rounds per leg; the reported time is the per-leg best.
 REFERENCE_ROUNDS = 3
+
+#: Acceptance budget for telemetry: the telemetry-enabled serial leg
+#: must stay within this fraction of the telemetry-disabled one.
+TELEMETRY_OVERHEAD_BUDGET = 0.05
 
 
 def reference_cells(
@@ -145,6 +150,24 @@ def _time_parallel(
     return time.perf_counter() - start
 
 
+def _time_serial_telemetry(
+    cells: Sequence[SweepCell], config: SystemConfig
+) -> float:
+    """The ``serial`` leg re-run with telemetry collection enabled.
+
+    The registry and span ring are reset at leg start, so after the
+    final round the process-global registry holds exactly one grid's
+    worth of counters — which is what ``metrics_out`` exports.
+    """
+    was_enabled = telemetry.enabled()
+    telemetry.set_enabled(True)
+    telemetry.reset()
+    try:
+        return _time_serial(cells, config)
+    finally:
+        telemetry.set_enabled(was_enabled)
+
+
 def run_reference_bench(
     workers: Optional[int] = None,
     benchmarks: Sequence[str] = REFERENCE_BENCHMARKS,
@@ -154,7 +177,9 @@ def run_reference_bench(
     output: Optional[Path] = Path("BENCH_sweep.json"),
     include_uncached: bool = True,
     include_replay: bool = True,
+    include_telemetry: bool = True,
     rounds: int = REFERENCE_ROUNDS,
+    metrics_out: Optional[Path] = None,
 ) -> Dict[str, object]:
     """Time the reference sweep; optionally write ``BENCH_sweep.json``.
 
@@ -165,6 +190,13 @@ def run_reference_bench(
     Each of the ``rounds`` rounds runs every enabled leg once,
     interleaved; the headline figure per leg is its best round, with
     raw samples preserved in ``samples_seconds``.
+
+    Every leg runs with telemetry collection *disabled* so the
+    trajectory stays comparable across PRs; the ``serial_telemetry``
+    leg re-enables it to price the subsystem (the overhead guard:
+    within :data:`TELEMETRY_OVERHEAD_BUDGET` of the plain serial leg).
+    ``metrics_out`` exports that leg's final registry snapshot as a
+    ``repro.metrics/v1`` artifact.
 
     On a single visible CPU the parallel leg is *skipped*, recorded
     with status ``skipped_single_cpu`` and null timings: a process
@@ -190,6 +222,13 @@ def run_reference_bench(
             ("serial_uncached", lambda: _time_serial_uncached(cells, config))
         )
     legs.append(("serial", lambda: _time_serial(cells, config)))
+    if include_telemetry:
+        legs.append(
+            (
+                "serial_telemetry",
+                lambda: _time_serial_telemetry(cells, config),
+            )
+        )
     if include_replay:
         legs.append(
             ("serial_replay", lambda: _time_serial_replay(cells, config))
@@ -199,14 +238,25 @@ def run_reference_bench(
             ("parallel", lambda: _time_parallel(cells, config, workers))
         )
     samples: Dict[str, List[float]] = {name: [] for name, _ in legs}
-    for _ in range(rounds):
-        for name, leg in legs:
-            samples[name].append(leg())
+    # The trajectory legs measure the simulator, not the observability
+    # layer: collection is off for every leg except serial_telemetry,
+    # which re-enables it to price exactly that difference.
+    telemetry_was_enabled = telemetry.enabled()
+    telemetry.set_enabled(False)
+    try:
+        for _ in range(rounds):
+            for name, leg in legs:
+                samples[name].append(leg())
+    finally:
+        telemetry.set_enabled(telemetry_was_enabled)
 
     serial_uncached = (
         min(samples["serial_uncached"]) if include_uncached else None
     )
     serial_seconds = min(samples["serial"])
+    serial_telemetry = (
+        min(samples["serial_telemetry"]) if include_telemetry else None
+    )
     serial_replay = min(samples["serial_replay"]) if include_replay else None
     parallel_seconds = min(samples["parallel"]) if run_parallel else None
 
@@ -236,6 +286,7 @@ def run_reference_bench(
         "timings_seconds": {
             "serial_uncached": serial_uncached,
             "serial": serial_seconds,
+            "serial_telemetry": serial_telemetry,
             "serial_replay": serial_replay,
             "parallel": parallel_seconds,
         },
@@ -271,8 +322,35 @@ def run_reference_bench(
             ),
         },
     }
+    if include_telemetry:
+        overhead_ratio = (
+            serial_telemetry / serial_seconds
+            if serial_telemetry is not None and serial_seconds > 0
+            else None
+        )
+        report["telemetry"] = {
+            "overhead_ratio": overhead_ratio,
+            "budget_ratio": 1.0 + TELEMETRY_OVERHEAD_BUDGET,
+            "within_budget": (
+                overhead_ratio is not None
+                and overhead_ratio <= 1.0 + TELEMETRY_OVERHEAD_BUDGET
+            ),
+        }
     if output is not None:
         atomic_write_json(Path(output), report)
+    if metrics_out is not None and include_telemetry:
+        from repro.telemetry import write_metrics_artifact
+
+        write_metrics_artifact(
+            Path(metrics_out),
+            telemetry.get_registry(),
+            run={
+                "kind": "reference-bench-serial",
+                "grid": report["grid"],
+                "environment": report["environment"],
+            },
+            spans=telemetry.get_tracer().finished(),
+        )
     return report
 
 
@@ -408,6 +486,8 @@ def format_report(report: Dict[str, object]) -> str:
     if timings["serial_uncached"] is not None:
         lines.append(leg_line("serial, no trace cache ", "serial_uncached"))
     lines.append(leg_line("serial, trace cache    ", "serial"))
+    if timings.get("serial_telemetry") is not None:
+        lines.append(leg_line("serial, telemetry on   ", "serial_telemetry"))
     if timings.get("serial_replay") is not None:
         lines.append(leg_line("serial, boundary replay", "serial_replay"))
     if timings.get("parallel") is not None:
@@ -426,5 +506,12 @@ def format_report(report: Dict[str, object]) -> str:
     if speedups["parallel_vs_serial"] is not None:
         lines.append(
             f"parallel speedup       : {speedups['parallel_vs_serial']:8.2f}x"
+        )
+    tele = report.get("telemetry") or {}
+    if tele.get("overhead_ratio") is not None:
+        verdict = "within" if tele.get("within_budget") else "OVER"
+        lines.append(
+            f"telemetry overhead     : {tele['overhead_ratio']:8.3f}x "
+            f"({verdict} {tele['budget_ratio']:.2f}x budget)"
         )
     return "\n".join(lines)

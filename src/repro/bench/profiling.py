@@ -41,7 +41,9 @@ from __future__ import annotations
 import cProfile
 import io
 import json
+import platform
 import pstats
+import sys
 import time
 from dataclasses import asdict
 from pathlib import Path
@@ -50,6 +52,7 @@ from typing import Any, Dict, List, Optional
 from repro.config import SystemConfig, default_config, validate_integrity_mode
 from repro.sim.engine import simulate, simulate_from_stream
 from repro.sim.machine import build_machine
+from repro.sim.parallel import default_workers
 from repro.util.atomicio import atomic_write_json
 from repro.workloads.registry import (
     TraceSpec,
@@ -288,6 +291,15 @@ def profile_run(
             "cprofile": capture_cprofile,
             "replay": replay,
         },
+        # Mirrors BENCH_sweep.json's environment block so profiles from
+        # different machines are comparable. A profile run is always
+        # one in-process cell, hence workers == 1.
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "visible_cpus": default_workers(),
+            "workers": 1,
+        },
         "phases": phases,
         "phase_fractions": fractions,
         "result": {
@@ -336,6 +348,19 @@ def validate_profile_document(document: Any) -> List[str]:
             if not isinstance(run.get(key), kinds):
                 problems.append(f"run.{key} missing or mistyped")
 
+    environment = document.get("environment")
+    if not isinstance(environment, dict):
+        problems.append("missing 'environment' object")
+    else:
+        for key, kinds in (
+            ("python", str),
+            ("platform", str),
+            ("visible_cpus", int),
+            ("workers", int),
+        ):
+            if not isinstance(environment.get(key), kinds):
+                problems.append(f"environment.{key} missing or mistyped")
+
     phases = document.get("phases")
     if not isinstance(phases, dict):
         problems.append("missing 'phases' object")
@@ -376,9 +401,15 @@ def format_profile(document: Dict[str, Any], top: int = 10) -> str:
         f"  ({run['accesses']} accesses, seed {run['seed']}, "
         f"functional={run['functional']}, mode={run['integrity_mode']}, "
         f"replay={run.get('replay', False)})",
-        "",
-        "phase attribution (seconds, fraction of total):",
     ]
+    env = document.get("environment")
+    if env:
+        lines.append(
+            f"environment: python {env['python']} on {env['platform']} "
+            f"({env['visible_cpus']} visible cpu(s), "
+            f"{env['workers']} worker(s))"
+        )
+    lines.extend(["", "phase attribution (seconds, fraction of total):"])
     phases = document["phases"]
     fractions = document["phase_fractions"]
     order = ("trace_gen", "setup", "boundary_compile", "engine", "export")

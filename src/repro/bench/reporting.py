@@ -66,6 +66,58 @@ def format_matrix(
     return format_table(rows, title=title)
 
 
+def format_metrics(document: Mapping, source: str = "") -> str:
+    """Render a ``repro.metrics/v1`` document as snapshot tables.
+
+    One table per metric kind that has data (counters, gauges,
+    histograms), plus a one-line span summary — the ``repro metrics``
+    subcommand's output.
+    """
+    metrics = document.get("metrics", {})
+    sections: List[str] = []
+    title_suffix = f" — {source}" if source else ""
+    counters = metrics.get("counters", {})
+    if counters:
+        rows: List[Mapping[str, Cell]] = [
+            {"counter": name, "value": counters[name]}
+            for name in sorted(counters)
+        ]
+        sections.append(format_table(rows, title=f"counters{title_suffix}"))
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        rows = [
+            {"gauge": name, "value": gauges[name]} for name in sorted(gauges)
+        ]
+        sections.append(format_table(rows, title=f"gauges{title_suffix}"))
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        rows = []
+        for name in sorted(histograms):
+            hist = histograms[name]
+            count = hist.get("count", 0)
+            total = hist.get("sum", 0.0)
+            rows.append(
+                {
+                    "histogram": name,
+                    "count": count,
+                    "sum": round(float(total), 4),
+                    "mean": round(total / count, 4) if count else 0.0,
+                }
+            )
+        sections.append(
+            format_table(rows, title=f"histograms{title_suffix}")
+        )
+    spans = document.get("spans") or []
+    if spans:
+        total_s = sum(float(span.get("duration_s", 0.0)) for span in spans)
+        sections.append(
+            f"{len(spans)} span(s) recorded, {total_s:.4f}s total"
+        )
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)
+
+
 def format_series(
     series: Mapping[str, Mapping[str, Number]],
     title: str = "",

@@ -15,7 +15,9 @@ Commands:
   recovery + integrity oracle) and write ``FAULTS_campaign.json``;
 * ``area-table`` — print Table 3;
 * ``recovery-table`` — print Table 4;
-* ``protocols`` — list registered protocols.
+* ``protocols`` — list registered protocols;
+* ``metrics`` — print a ``repro.metrics/v1`` document (from
+  ``--metrics-out``) as snapshot tables or Prometheus text.
 
 ``sweep``, ``experiment``, and ``perf`` accept ``--workers N`` to fan
 the sweep grid out over a process pool; results are bit-identical to
@@ -26,7 +28,14 @@ protocol (see docs/PERFORMANCE.md); results are identical either way.
 ``perf`` and ``faults`` accept ``--run-dir DIR`` to journal every
 completed cell (crash-safe, resumable with ``--resume DIR``) and
 supervision knobs (``--max-attempts``, ``--cell-timeout``); see
-docs/RESILIENCE.md for the journal format and exit codes.
+docs/RESILIENCE.md for the journal format and exit codes. Supervised
+runs additionally write lifecycle events to ``<run-dir>/events.jsonl``.
+
+``sweep``, ``perf``, ``profile``, and ``faults`` accept
+``--metrics-out PATH`` (export the run's metrics as a
+``repro.metrics/v1`` document) and ``--no-telemetry`` (disable
+collection; results are bit-identical either way) — see
+docs/OBSERVABILITY.md.
 
 Everything the CLI does is a thin wrapper over the public API, so the
 printed numbers are identical to what the pytest benchmark harness
@@ -68,6 +77,7 @@ def _profile_for(name: str):
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    _telemetry_begin(args)
     config = default_config(subtree_level=args.subtree_level)
     if args.benchmark in PARSEC_PROFILES:
         trace = profile_spec("parsec", args.benchmark, args.accesses, args.seed)
@@ -96,6 +106,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"subtree level {args.subtree_level})",
         )
     )
+    _telemetry_end(args, "sweep")
     return 0
 
 
@@ -222,6 +233,58 @@ def cmd_profiles(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    """Shared telemetry flags for simulation-running commands."""
+    parser.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable metrics/span collection for this run",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics as a repro.metrics/v1 document",
+    )
+
+
+def _telemetry_begin(args: argparse.Namespace) -> None:
+    """Apply the telemetry flags and start from a clean registry."""
+    from repro import telemetry
+
+    if getattr(args, "no_telemetry", False):
+        telemetry.set_enabled(False)
+        return
+    telemetry.set_enabled(True)
+    telemetry.reset()
+
+
+def _telemetry_end(args: argparse.Namespace, command: str) -> None:
+    """Export the command's metrics snapshot if ``--metrics-out`` asked."""
+    from repro import telemetry
+
+    path = getattr(args, "metrics_out", None)
+    if not path:
+        return
+    telemetry.write_metrics_artifact(
+        path,
+        telemetry.get_registry(),
+        run={"kind": command},
+        spans=telemetry.get_tracer().finished(),
+    )
+    print(f"wrote {path}")
+
+
+def _install_run_events(run_dir) -> None:
+    """Route the event sink to ``<run_dir>/events.jsonl`` for
+    supervised runs, so lifecycle events land next to the journal."""
+    from pathlib import Path
+
+    from repro import telemetry
+
+    telemetry.install_sink(Path(run_dir) / "events.jsonl")
+
+
 def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
     """Shared supervision/journal flags for long-running commands."""
     parser.add_argument(
@@ -301,8 +364,10 @@ def cmd_perf(args: argparse.Namespace) -> int:
         run_resilient_sweep,
     )
 
+    _telemetry_begin(args)
     run_dir, resume = _resolve_run_dir(args)
     if run_dir:
+        _install_run_events(run_dir)
         outcome = run_resilient_sweep(
             Path(run_dir),
             resume=resume,
@@ -318,6 +383,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
         )
         print(f"journal: {outcome['journal']}")
         print(f"wrote {outcome['artifact']}")
+        _telemetry_end(args, "perf-resilient")
         if outcome["failures"]:
             _report_failures(outcome["failures"])
             return EXIT_QUARANTINED
@@ -330,11 +396,15 @@ def cmd_perf(args: argparse.Namespace) -> int:
         output=Path(args.output) if args.output else None,
         include_uncached=not args.skip_uncached,
         include_replay=not args.no_replay,
+        include_telemetry=not args.no_telemetry,
         rounds=args.rounds,
+        metrics_out=Path(args.metrics_out) if args.metrics_out else None,
     )
     print(format_report(report))
     if args.output:
         print(f"wrote {args.output}")
+    if args.metrics_out and not args.no_telemetry:
+        print(f"wrote {args.metrics_out}")
     return 0
 
 
@@ -348,6 +418,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from repro.workloads.parsec import PARSEC_PROFILES
     from repro.workloads.spec import SPEC_PROFILES as _SPEC
 
+    _telemetry_begin(args)
     if args.benchmark in PARSEC_PROFILES:
         suite = "parsec"
     elif args.benchmark in _SPEC:
@@ -371,6 +442,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     if args.output:
         write_profile_artifact(document, args.output)
         print(f"wrote {args.output}")
+    _telemetry_end(args, "profile")
     return EXIT_OK
 
 
@@ -437,7 +509,10 @@ def cmd_faults(args: argparse.Namespace) -> int:
         profile_spec("faults", name, args.accesses, args.seed)
         for name in workloads
     ]
+    _telemetry_begin(args)
     run_dir, resume = _resolve_run_dir(args)
+    if run_dir:
+        _install_run_events(run_dir)
     report = run_campaign(
         protocols,
         traces,
@@ -474,6 +549,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
     if args.output:
         report.write_json(Path(args.output))
         print(f"wrote {args.output}")
+    _telemetry_end(args, "faults")
     failed = False
     for cell in report.silent_cells():
         failed = True
@@ -493,6 +569,36 @@ def cmd_faults(args: argparse.Namespace) -> int:
     if report.failures:
         _report_failures(report.failures)
         return EXIT_QUARANTINED
+    return EXIT_OK
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Print a ``repro.metrics/v1`` document as snapshot tables."""
+    import json
+    from pathlib import Path
+
+    from repro import telemetry
+    from repro.bench.reporting import format_metrics
+
+    path = Path(args.path)
+    if not path.exists():
+        raise SystemExit(
+            f"no metrics document at {path} — produce one with "
+            f"--metrics-out on sweep/perf/profile/faults"
+        )
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise SystemExit(f"{path} is not valid JSON: {exc}")
+    problems = telemetry.validate_metrics_document(document)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return EXIT_INTEGRITY
+    if args.prometheus:
+        print(telemetry.render_prometheus(document["metrics"]), end="")
+        return EXIT_OK
+    print(format_metrics(document, source=str(path)))
     return EXIT_OK
 
 
@@ -528,6 +634,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-walk the data side per protocol instead of compiling "
         "one boundary stream (results are identical either way)",
     )
+    _add_telemetry_args(sweep)
     sweep.set_defaults(handler=cmd_sweep)
 
     experiment = commands.add_parser(
@@ -588,6 +695,7 @@ def build_parser() -> argparse.ArgumentParser:
         "resilient sweep through the direct per-protocol path",
     )
     _add_resilience_args(perf)
+    _add_telemetry_args(perf)
     perf.set_defaults(handler=cmd_perf)
 
     prof = commands.add_parser(
@@ -630,6 +738,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="PROFILE_run.json",
         help="artifact path ('' to skip writing)",
     )
+    _add_telemetry_args(prof)
     prof.set_defaults(handler=cmd_profile)
 
     area = commands.add_parser("area-table", help="print Table 3")
@@ -713,7 +822,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON report path ('' to skip writing)",
     )
     _add_resilience_args(faults)
+    _add_telemetry_args(faults)
     faults.set_defaults(handler=cmd_faults)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="print a repro.metrics/v1 document as snapshot tables",
+    )
+    metrics.add_argument(
+        "path",
+        nargs="?",
+        default="METRICS_run.json",
+        help="metrics document to print (default: METRICS_run.json)",
+    )
+    metrics.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="emit Prometheus text exposition format instead of tables",
+    )
+    metrics.set_defaults(handler=cmd_metrics)
     return parser
 
 
@@ -722,6 +849,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except BrokenPipeError:
+        # stdout piped into a pager/head that exited early; not an error.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
     except ResumeManifestMismatch as exc:
         print(f"resume refused: {exc}", file=sys.stderr)
         return EXIT_RESUME_MISMATCH

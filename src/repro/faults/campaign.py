@@ -28,6 +28,7 @@ from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import telemetry
 from repro.config import MetadataCacheConfig, SystemConfig, default_config
 from repro.errors import ConfigValidationError, FaultInjectionError
 from repro.faults.oracle import (
@@ -573,9 +574,11 @@ def run_campaign(
         cells = runner.map(
             _fault_pool_entry, [(spec, config) for spec in specs]
         )
-        return CampaignReport(
+        report = CampaignReport(
             parameters=parameters, baselines=baselines, cells=cells
         )
+        _record_campaign_telemetry(report)
+        return report
 
     probe_keys = [
         fault_spec_key("probe", i, spec)
@@ -624,12 +627,33 @@ def run_campaign(
     )
     baselines, probe_failures = split_outcomes(probe_outcomes)
     cells, cell_failures = split_outcomes(cell_outcomes)
-    return CampaignReport(
+    report = CampaignReport(
         parameters=parameters,
         baselines=baselines,
         cells=cells,
         failures=probe_failures + cell_failures,
     )
+    _record_campaign_telemetry(report)
+    return report
+
+
+def _record_campaign_telemetry(report: "CampaignReport") -> None:
+    """Fold campaign verdicts into metrics and the event sink.
+
+    Runs parent-side on the assembled report so counts are complete no
+    matter which worker (or the in-process fallback) ran each cell, and
+    are never double counted across pool and fallback paths.
+    """
+    telemetry.record_fault_outcomes(report.cells)
+    for cell in report.cells:
+        telemetry.emit_event(
+            "fault_verdict",
+            protocol=cell.protocol,
+            workload=cell.workload,
+            verdict=cell.verdict,
+            phase=cell.phase_label,
+        )
+    telemetry.get_sink().flush()
 
 
 def _plan_all(

@@ -88,6 +88,8 @@ class BonsaiMerkleTree:
         self._lazy_slots: Dict[NodeId, Set[int]] = {}
         #: genesis node bytes memoized by (level, child_count).
         self._genesis_cache: Dict[Tuple[int, int], bytes] = {}
+        #: Lazily-deferred nodes made real so far (telemetry only).
+        self.materializations = 0
         #: Non-volatile on-chip root register (8 B), kept current in
         #: eager mode and recomputed on read when lazily stale.
         self._root_stale = False
@@ -183,6 +185,7 @@ class BonsaiMerkleTree:
         collapse into a single hash per node here.
         """
         pending = self._lazy_slots.pop(node, None)
+        self.materializations += 1
         base = self._volatile_nodes.get(node)
         if base is None:
             base = self.persisted_node_bytes(node)

@@ -26,6 +26,7 @@ from typing import Dict, Optional, Tuple
 from repro.errors import PowerFailure, SimulationError
 from repro.sim.machine import Machine
 from repro.sim.results import SimulationResult
+from repro.telemetry import record_simulation
 from repro.util.rng import Seed, make_rng
 from repro.workloads.trace import ColumnarAccesses, Trace
 
@@ -114,7 +115,7 @@ def simulate(
         mm.allocator.instructions()
         + mm.stats.get("page_faults") * INSTRUCTIONS_PER_PAGE_FAULT
     )
-    return SimulationResult(
+    result = SimulationResult(
         workload=trace.name,
         protocol=mee.protocol.display_name,
         cycles=cycles,
@@ -128,6 +129,10 @@ def simulate(
         protocol_stats=mee.protocol.stats.snapshot(),
         mee_stats=mee.stats.snapshot(),
     )
+    record_simulation(
+        result, mee, llc.stats.get("hits"), llc.stats.get("misses")
+    )
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -171,7 +176,7 @@ def simulate_from_stream(
             cycles += write_block(addr, fenced=True)
 
     os_instructions = stream.os_instructions
-    return SimulationResult(
+    result = SimulationResult(
         workload=stream.name,
         protocol=mee.protocol.display_name,
         cycles=cycles,
@@ -185,6 +190,8 @@ def simulate_from_stream(
         protocol_stats=mee.protocol.stats.snapshot(),
         mee_stats=mee.stats.snapshot(),
     )
+    record_simulation(result, mee, stream.llc_hits, stream.llc_misses)
+    return result
 
 
 # ----------------------------------------------------------------------

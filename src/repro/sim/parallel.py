@@ -26,9 +26,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.config import INTEGRITY_MODES, SystemConfig
 from repro.errors import ConfigValidationError
 from repro.sim.engine import simulate, simulate_from_stream
@@ -148,8 +150,7 @@ def precompile_streams(cells: Sequence[SweepCell], config: SystemConfig) -> int:
     return len(specs)
 
 
-def run_cell(cell: SweepCell, config: SystemConfig) -> SimulationResult:
-    """Execute one cell in the current process."""
+def _run_cell_impl(cell: SweepCell, config: SystemConfig) -> SimulationResult:
     cell_config = cell.config if cell.config is not None else config
     machine = build_machine(
         cell_config,
@@ -170,10 +171,44 @@ def run_cell(cell: SweepCell, config: SystemConfig) -> SimulationResult:
     )
 
 
+def run_cell(cell: SweepCell, config: SystemConfig) -> SimulationResult:
+    """Execute one cell in the current process.
+
+    With telemetry enabled the cell is timed under a span and its
+    wall-clock lands in the ``sweep.cell_seconds`` histogram; the
+    simulation itself is identical either way.
+    """
+    if not telemetry.enabled():
+        return _run_cell_impl(cell, config)
+    start = time.monotonic()
+    with telemetry.span(f"cell:{cell.protocol}:{cell.trace.label()}"):
+        result = _run_cell_impl(cell, config)
+    telemetry.histogram(
+        "sweep.cell_seconds", telemetry.CELL_SECONDS_BUCKETS
+    ).observe(time.monotonic() - start)
+    telemetry.counter("sweep.cells").inc()
+    return result
+
+
 def _pool_entry(payload: Tuple[SweepCell, SystemConfig]) -> SimulationResult:
     """Top-level pool target (must be importable for spawn contexts)."""
     cell, config = payload
     return run_cell(cell, config)
+
+
+def _pool_entry_telemetry(payload: Tuple[SweepCell, SystemConfig]):
+    """Pool target that ships the cell's metrics delta back with it.
+
+    Returns ``(result, (pid, delta_snapshot))``. The parent merges only
+    deltas whose pid differs from its own — in the in-process fallback
+    (or a one-cell grid) the delta already landed in the parent
+    registry, and merging it again would double count.
+    """
+    cell, config = payload
+    registry = telemetry.get_registry()
+    before = registry.snapshot()
+    result = run_cell(cell, config)
+    return result, (os.getpid(), registry.diff(before))
 
 
 def default_workers() -> int:
@@ -256,4 +291,16 @@ class ParallelSweepRunner:
             # spawn pool recompiles per worker — still once per
             # process, amortized over that worker's protocol cells).
             precompile_streams(cells, config)
-        return self.map(_pool_entry, [(cell, config) for cell in cells])
+        payloads = [(cell, config) for cell in cells]
+        if not telemetry.enabled():
+            return self.map(_pool_entry, payloads)
+        telemetry.gauge("sweep.workers").set(self.workers)
+        tagged = self.map(_pool_entry_telemetry, payloads)
+        registry = telemetry.get_registry()
+        parent_pid = os.getpid()
+        results: List[SimulationResult] = []
+        for result, (pid, delta) in tagged:
+            results.append(result)
+            if pid != parent_pid:
+                registry.merge_snapshot(delta)
+        return results

@@ -16,6 +16,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, Optional, Sequence, Union
 
+from repro import telemetry
 from repro.config import SystemConfig
 from repro.sim.engine import simulate, simulate_from_stream
 from repro.sim.machine import build_machine
@@ -64,6 +65,30 @@ def run_protocol_sweep(
     hatch; fault campaigns never come through here at all).
     """
     _validate_sweep(trace, protocols, churn_interval)
+    label = trace.name if isinstance(trace, Trace) else trace.label()
+    with telemetry.span(f"sweep:{label}"):
+        return _run_protocol_sweep(
+            trace,
+            config,
+            protocols,
+            seed=seed,
+            scatter_span_chunks=scatter_span_chunks,
+            churn_interval=churn_interval,
+            workers=workers,
+            replay=replay,
+        )
+
+
+def _run_protocol_sweep(
+    trace: TraceLike,
+    config: SystemConfig,
+    protocols: Sequence[str],
+    seed: Seed,
+    scatter_span_chunks: int,
+    churn_interval: int,
+    workers: int,
+    replay: bool,
+) -> Dict[str, SimulationResult]:
     if workers > 1:
         spec = trace if isinstance(trace, TraceSpec) else literal_spec(trace)
         cells = [
@@ -116,28 +141,30 @@ def run_protocol_sweep(
                         modified_os=modified,
                     )
                 streams[modified] = stream
-            machine = build_machine(
-                config,
-                name,
-                seed=seed,
-                scatter_span_chunks=scatter_span_chunks,
-            )
-            results_by_name[name] = simulate_from_stream(stream, machine)
+            with telemetry.span(f"cell:{name}"):
+                machine = build_machine(
+                    config,
+                    name,
+                    seed=seed,
+                    scatter_span_chunks=scatter_span_chunks,
+                )
+                results_by_name[name] = simulate_from_stream(stream, machine)
         return results_by_name
 
     materialized = (
         materialize_trace(trace) if isinstance(trace, TraceSpec) else trace
     )
     for name in protocols:
-        machine = build_machine(
-            config,
-            name,
-            seed=seed,
-            scatter_span_chunks=scatter_span_chunks,
-        )
-        results_by_name[name] = simulate(
-            machine, materialized, seed=seed, churn_interval=churn_interval
-        )
+        with telemetry.span(f"cell:{name}"):
+            machine = build_machine(
+                config,
+                name,
+                seed=seed,
+                scatter_span_chunks=scatter_span_chunks,
+            )
+            results_by_name[name] = simulate(
+                machine, materialized, seed=seed, churn_interval=churn_interval
+            )
     return results_by_name
 
 

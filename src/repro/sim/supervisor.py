@@ -51,6 +51,7 @@ from typing import (
     Union,
 )
 
+from repro import telemetry
 from repro.errors import (
     CellTimeoutError,
     OrchestrationError,
@@ -287,6 +288,11 @@ class RunJournal:
             "payload": payload,
         }
         self._dirty = True
+        # Mirror every journal mutation into the event sink so the
+        # event log is a faithful superset of the on-disk journal.
+        telemetry.emit_event(
+            "journal_record", key=key, status="done", attempts=attempts
+        )
 
     def record_failed(self, failure: CellFailure) -> None:
         self.entries[failure.key] = {
@@ -298,6 +304,13 @@ class RunJournal:
             "traceback": failure.traceback,
         }
         self._dirty = True
+        telemetry.emit_event(
+            "journal_record",
+            key=failure.key,
+            status="failed",
+            attempts=failure.attempts,
+            error_type=failure.error_type,
+        )
 
     def failure_for(self, key: str) -> Optional[CellFailure]:
         record = self.entries.get(key)
@@ -418,8 +431,14 @@ class SupervisedRunner:
             entry = self.journal.entry(key) if self.journal else None
             if entry is not None and entry.get("status") == "done":
                 slots[index] = decode(entry["payload"])
+                telemetry.emit_event(
+                    "journal_restored", key=key, status="done"
+                )
             elif entry is not None and entry.get("status") == "failed":
                 slots[index] = self.journal.failure_for(key)
+                telemetry.emit_event(
+                    "journal_restored", key=key, status="failed"
+                )
             else:
                 pending.append(_Cell(index, key, payload))
         if not pending:
@@ -468,6 +487,10 @@ class SupervisedRunner:
             )
             if broken:
                 respawns += 1
+                telemetry.counter("supervisor.pool_respawns").inc()
+                telemetry.emit_event(
+                    "pool_respawn", respawns=respawns, remaining=len(queue)
+                )
 
     def _run_pool_round(
         self, pool, func, queue, slots, attempts, encode, decode
@@ -528,6 +551,10 @@ class SupervisedRunner:
                             # In flight when the pool died — not the
                             # cell's fault, re-dispatch without charge.
                             requeue.append(later_cell)
+                            telemetry.counter("supervisor.requeued").inc()
+                            telemetry.emit_event(
+                                "cell_requeued", key=later_cell.key
+                            )
                     pool.terminate()
                     break
                 except Exception as exc:
@@ -567,6 +594,11 @@ class SupervisedRunner:
         """Count a failed attempt; quarantine or requeue. True when
         the cell is now quarantined."""
         attempts[cell.key] += 1
+        if isinstance(exc, CellTimeoutError):
+            telemetry.counter("supervisor.timeouts").inc()
+            telemetry.emit_event(
+                "cell_timeout", key=cell.key, attempt=attempts[cell.key]
+            )
         if attempts[cell.key] >= self.policy.max_attempts:
             failure = CellFailure(
                 key=cell.key,
@@ -576,15 +608,35 @@ class SupervisedRunner:
                 traceback=tb_text,
             )
             slots[cell.index] = failure
+            telemetry.counter("supervisor.quarantined").inc()
+            telemetry.emit_event(
+                "cell_quarantined",
+                key=cell.key,
+                attempts=attempts[cell.key],
+                error_type=type(exc).__name__,
+            )
             if self.journal:
                 self.journal.record_failed(failure)
             self._checkpoint()
             return True
         requeue.append(cell)
+        telemetry.counter("supervisor.retries").inc()
+        telemetry.emit_event(
+            "cell_retry",
+            key=cell.key,
+            attempt=attempts[cell.key],
+            error_type=type(exc).__name__,
+        )
         return False
 
     def _complete(self, cell, value, slots, attempts, encode, decode):
         payload = encode(value)
+        telemetry.counter("supervisor.cells_done").inc()
+        telemetry.emit_event(
+            "cell_done",
+            key=cell.key,
+            attempts=max(1, attempts.get(cell.key, 0) + 1),
+        )
         if self.journal:
             self.journal.record_done(
                 cell.key, payload, max(1, attempts.get(cell.key, 0) + 1)
@@ -604,6 +656,14 @@ class SupervisedRunner:
             self.journal.flush()
             self._records_since_flush = 0
             self._flushes += 1
+            telemetry.emit_event(
+                "checkpoint_flush",
+                flushes=self._flushes,
+                entries=len(self.journal.entries),
+            )
+            # Keep the event log at least as current as the journal —
+            # the die-after-flushes hook fires right after this point.
+            telemetry.get_sink().flush()
             die_after = self.policy.die_after_flushes
             if die_after is not None and self._flushes >= die_after:
                 raise _Interrupted(
@@ -614,6 +674,7 @@ class SupervisedRunner:
         if self.journal is not None:
             self.journal.flush()
             self._records_since_flush = 0
+        telemetry.get_sink().flush()
 
     def _context(self):
         methods = multiprocessing.get_all_start_methods()

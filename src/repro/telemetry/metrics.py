@@ -1,0 +1,259 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Design goals, in order:
+
+1. **Near-zero cost when disabled.** ``counter(name)`` returns a shared
+   no-op singleton when telemetry is off, so instrumented code holds a
+   pre-resolved handle and pays exactly one attribute call — no branch,
+   no dict lookup — in the disabled case. Hot loops themselves are never
+   instrumented per-access; the engine records aggregate deltas once per
+   simulation run (see ``repro.telemetry.record_simulation``).
+2. **Deterministic.** Metric objects never touch clocks or RNG; enabling
+   or disabling telemetry cannot perturb simulation results.
+3. **Mergeable.** ``snapshot()`` / ``diff()`` / ``merge_snapshot()`` let
+   per-worker registries in a multiprocessing pool ship deltas back to
+   the parent for aggregation without double counting.
+
+The module-level accessors (:func:`counter`, :func:`gauge`,
+:func:`histogram`) operate on a single process-global registry, mirroring
+how ``util/stats.py`` scopes ``StatRegistry`` per component.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    # Alias so call sites can read naturally for multi-unit bumps.
+    add = inc
+
+
+class Gauge:
+    """Last-write-wins scalar metric (e.g. cache sizes, worker counts)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` (<=) semantics.
+
+    ``buckets`` are the finite upper bounds, sorted ascending; an
+    implicit +Inf bucket catches overflow, so ``counts`` has
+    ``len(buckets) + 1`` entries.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, buckets: Sequence[float]) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one finite bucket")
+        self.name = name
+        self.buckets: Tuple[float, ...] = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+class NullMetric:
+    """Shared no-op standing in for any metric kind when disabled."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:  # pragma: no cover - trivial
+        pass
+
+    def add(self, amount: float = 1) -> None:  # pragma: no cover - trivial
+        pass
+
+    def dec(self, amount: float = 1) -> None:  # pragma: no cover - trivial
+        pass
+
+    def set(self, value: float) -> None:  # pragma: no cover - trivial
+        pass
+
+    def observe(self, value: float) -> None:  # pragma: no cover - trivial
+        pass
+
+
+NULL_METRIC = NullMetric()
+
+
+class MetricsRegistry:
+    """Name-indexed store of counters, gauges, and histograms."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- lookup-or-create ---------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str, buckets: Sequence[float]) -> Histogram:
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(name, buckets)
+        return metric
+
+    # -- aggregation ---------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Deep-copy the registry state into plain JSON-able dicts."""
+        return {
+            "counters": {n: c.value for n, c in self.counters.items()},
+            "gauges": {n: g.value for n, g in self.gauges.items()},
+            "histograms": {
+                n: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for n, h in self.histograms.items()
+            },
+        }
+
+    def diff(self, before: Mapping[str, Mapping]) -> Dict[str, Dict]:
+        """Delta of the current state relative to an earlier snapshot.
+
+        Counters and histogram counts subtract; gauges are
+        last-write-wins so the current value is reported as-is.
+        """
+        now = self.snapshot()
+        prev_counters = before.get("counters", {})
+        now["counters"] = {
+            name: value - prev_counters.get(name, 0)
+            for name, value in now["counters"].items()
+            if value - prev_counters.get(name, 0)
+        }
+        prev_hists = before.get("histograms", {})
+        hist_delta: Dict[str, Dict] = {}
+        for name, hist in now["histograms"].items():
+            prev = prev_hists.get(name)
+            if prev is not None and list(prev["buckets"]) == hist["buckets"]:
+                counts = [a - b for a, b in zip(hist["counts"], prev["counts"])]
+                total = hist["count"] - prev["count"]
+                if total == 0:
+                    continue
+                hist_delta[name] = {
+                    "buckets": hist["buckets"],
+                    "counts": counts,
+                    "sum": hist["sum"] - prev["sum"],
+                    "count": total,
+                }
+            else:
+                hist_delta[name] = hist
+        now["histograms"] = hist_delta
+        return now
+
+    def merge_snapshot(self, snap: Mapping[str, Mapping]) -> None:
+        """Fold a snapshot/delta from another registry into this one."""
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).value += value
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).value = value
+        for name, payload in snap.get("histograms", {}).items():
+            hist = self.histogram(name, payload["buckets"])
+            if list(hist.buckets) != list(payload["buckets"]):
+                raise ValueError(
+                    f"histogram {name!r} bucket mismatch during merge"
+                )
+            for i, n in enumerate(payload["counts"]):
+                hist.counts[i] += n
+            hist.sum += payload["sum"]
+            hist.count += payload["count"]
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+# ----------------------------------------------------------------------
+# Process-global registry and enable flag
+# ----------------------------------------------------------------------
+
+_ENABLED = True
+_REGISTRY = MetricsRegistry()
+
+
+def enabled() -> bool:
+    return _ENABLED
+
+
+def set_enabled(value: bool) -> None:
+    global _ENABLED
+    _ENABLED = bool(value)
+
+
+def get_registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def reset() -> None:
+    """Clear all metrics in the process-global registry."""
+    _REGISTRY.reset()
+
+
+def counter(name: str):
+    """Pre-resolve a counter handle (no-op singleton when disabled)."""
+    if not _ENABLED:
+        return NULL_METRIC
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str):
+    if not _ENABLED:
+        return NULL_METRIC
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str, buckets: Sequence[float]):
+    if not _ENABLED:
+        return NULL_METRIC
+    return _REGISTRY.histogram(name, buckets)

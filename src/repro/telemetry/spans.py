@@ -1,0 +1,94 @@
+"""Lightweight span tracing: sweep -> cell -> phase.
+
+Spans measure wall-clock phases with the monotonic clock and record
+parent/child structure via a per-tracer stack. Finished spans land in a
+bounded ring (``collections.deque`` with ``maxlen``), so long campaigns
+cannot grow memory without bound. Span timing is observational only —
+it never feeds back into simulation state, preserving the bit-identity
+contract between telemetry-on and telemetry-off runs.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Deque, Dict, Iterator, List, Optional
+
+DEFAULT_CAPACITY = 4096
+
+
+class SpanTracer:
+    """Records finished spans into a bounded in-memory ring."""
+
+    __slots__ = ("capacity", "_ring", "_stack", "_next_id", "_epoch")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("span ring capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: Deque[Dict] = deque(maxlen=capacity)
+        self._stack: List[int] = []
+        self._next_id = 1
+        self._epoch = time.monotonic()
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[int]:
+        span_id = self._next_id
+        self._next_id += 1
+        parent: Optional[int] = self._stack[-1] if self._stack else None
+        self._stack.append(span_id)
+        start = time.monotonic()
+        try:
+            yield span_id
+        finally:
+            duration = time.monotonic() - start
+            self._stack.pop()
+            self._ring.append(
+                {
+                    "id": span_id,
+                    "parent": parent,
+                    "name": name,
+                    "start_s": start - self._epoch,
+                    "duration_s": duration,
+                }
+            )
+
+    def finished(self) -> List[Dict]:
+        """Finished spans, oldest first (bounded by ``capacity``)."""
+        return list(self._ring)
+
+    def reset(self) -> None:
+        self._ring.clear()
+        self._stack.clear()
+        self._next_id = 1
+        self._epoch = time.monotonic()
+
+
+@contextmanager
+def _null_span() -> Iterator[None]:
+    yield None
+
+
+_TRACER = SpanTracer()
+
+
+def get_tracer() -> SpanTracer:
+    return _TRACER
+
+
+def span(name: str):
+    """Context manager timing ``name`` under the global tracer.
+
+    Returns a no-op context when telemetry is disabled so call sites
+    stay branch-free: ``with span("cell"): ...``.
+    """
+    from repro.telemetry import metrics
+
+    if not metrics.enabled():
+        return _null_span()
+    return _TRACER.span(name)
+
+
+def reset() -> None:
+    _TRACER.reset()

@@ -16,9 +16,11 @@ times, whether the cells run in the parent or in a pool worker.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Tuple, Union
 
+from repro import telemetry
 from repro.util.rng import Seed
 from repro.workloads.trace import ColumnarAccesses, Trace
 
@@ -178,9 +180,70 @@ def _materialize(spec: TraceSpec) -> Trace:
     raise ValueError(f"unknown trace spec kind {spec.kind!r}")
 
 
+class _LRUCache:
+    """Bounded LRU memo with telemetry counters and eviction events.
+
+    Materialization is a pure function of the key, so eviction only
+    costs recomputation — it can never change a result. The default
+    limits are generous (a reference sweep touches a handful of
+    entries); the bound exists so long fault campaigns sweeping many
+    specs cannot grow the parent process without bound.
+    """
+
+    __slots__ = ("name", "limit", "_data")
+
+    def __init__(self, name: str, limit: int) -> None:
+        self.name = name
+        self.limit = limit
+        self._data: "OrderedDict" = OrderedDict()
+
+    def get(self, key, label: str):
+        value = self._data.get(key)
+        if value is None:
+            telemetry.counter(f"{self.name}.misses").inc()
+            telemetry.emit_event(f"{self.name}_miss", key=label)
+            return None
+        self._data.move_to_end(key)
+        telemetry.counter(f"{self.name}.hits").inc()
+        telemetry.emit_event(f"{self.name}_hit", key=label)
+        return value
+
+    def put(self, key, value, label: str) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.limit:
+            evicted_key, _ = self._data.popitem(last=False)
+            telemetry.counter(f"{self.name}.evictions").inc()
+            telemetry.emit_event(
+                f"{self.name}_eviction", size=len(self._data)
+            )
+        telemetry.gauge(f"{self.name}.size").set(len(self._data))
+
+    def set_limit(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError(f"{self.name} limit must be >= 1, got {limit}")
+        self.limit = limit
+        while len(self._data) > limit:
+            self._data.popitem(last=False)
+            telemetry.counter(f"{self.name}.evictions").inc()
+        telemetry.gauge(f"{self.name}.size").set(len(self._data))
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+#: Default LRU bounds — generous relative to the reference grids (a
+#: full sweep touches ~6 traces and ~2 streams) but finite, so
+#: long-running campaigns cannot leak materialized traces.
+DEFAULT_TRACE_CACHE_LIMIT = 64
+DEFAULT_STREAM_CACHE_LIMIT = 32
+
 #: Process-wide materialization cache. Workers forked from a warm
 #: parent inherit it; spawned workers fill their own on first use.
-_TRACE_CACHE: Dict[TraceSpec, Trace] = {}
+_TRACE_CACHE = _LRUCache("trace_cache", DEFAULT_TRACE_CACHE_LIMIT)
 
 
 def materialize_trace(spec: TraceSpec, cache: bool = True) -> Trace:
@@ -193,10 +256,10 @@ def materialize_trace(spec: TraceSpec, cache: bool = True) -> Trace:
     """
     if not cache:
         return _materialize(spec)
-    trace = _TRACE_CACHE.get(spec)
+    trace = _TRACE_CACHE.get(spec, spec.label())
     if trace is None:
         trace = _materialize(spec)
-        _TRACE_CACHE[spec] = trace
+        _TRACE_CACHE.put(spec, trace, spec.label())
     return trace
 
 
@@ -207,6 +270,15 @@ def trace_cache_clear() -> None:
 
 def trace_cache_size() -> int:
     return len(_TRACE_CACHE)
+
+
+def set_trace_cache_limit(limit: int) -> None:
+    """Cap the trace cache at ``limit`` entries (evicts LRU overflow)."""
+    _TRACE_CACHE.set_limit(limit)
+
+
+def trace_cache_limit() -> int:
+    return _TRACE_CACHE.limit
 
 
 # ----------------------------------------------------------------------
@@ -296,7 +368,7 @@ def boundary_stream_spec(
 #: Process-wide compiled-stream cache, disciplined like _TRACE_CACHE:
 #: workers forked from a warm parent inherit it; spawned workers fill
 #: their own on first use. Values are immutable once compiled.
-_STREAM_CACHE: Dict[BoundaryStreamSpec, object] = {}
+_STREAM_CACHE = _LRUCache("stream_cache", DEFAULT_STREAM_CACHE_LIMIT)
 
 
 def materialize_boundary_stream(spec: BoundaryStreamSpec, config, cache: bool = True):
@@ -308,7 +380,7 @@ def materialize_boundary_stream(spec: BoundaryStreamSpec, config, cache: bool = 
     compiler needs. Streams are treated as immutable once compiled.
     """
     if cache:
-        stream = _STREAM_CACHE.get(spec)
+        stream = _STREAM_CACHE.get(spec, spec.trace.label())
         if stream is not None:
             return stream
     from repro.sim.replay import compile_boundary_stream
@@ -326,7 +398,7 @@ def materialize_boundary_stream(spec: BoundaryStreamSpec, config, cache: bool = 
         reclaim_interval=spec.reclaim_interval,
     )
     if cache:
-        _STREAM_CACHE[spec] = stream
+        _STREAM_CACHE.put(spec, stream, spec.trace.label())
     return stream
 
 
@@ -337,3 +409,12 @@ def boundary_stream_cache_clear() -> None:
 
 def boundary_stream_cache_size() -> int:
     return len(_STREAM_CACHE)
+
+
+def set_stream_cache_limit(limit: int) -> None:
+    """Cap the stream cache at ``limit`` entries (evicts LRU overflow)."""
+    _STREAM_CACHE.set_limit(limit)
+
+
+def stream_cache_limit() -> int:
+    return _STREAM_CACHE.limit

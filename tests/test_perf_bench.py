@@ -22,7 +22,12 @@ def report():
 class TestInterleavedLegs:
     def test_every_leg_sampled_every_round(self, report):
         samples = report["samples_seconds"]
-        expected = {"serial_uncached", "serial", "serial_replay"}
+        expected = {
+            "serial_uncached",
+            "serial",
+            "serial_telemetry",
+            "serial_replay",
+        }
         if report["legs"].get("parallel") == "measured":
             expected.add("parallel")
         assert set(samples) == expected
