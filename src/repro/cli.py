@@ -486,7 +486,14 @@ def cmd_faults(args: argparse.Namespace) -> int:
 
     from repro.bench.reporting import format_matrix
     from repro.faults.campaign import default_fault_config, run_campaign
+    from repro.faults.triggers import trigger_catalog
     from repro.workloads.faultprofiles import FAULT_PROFILES
+
+    if args.list_triggers:
+        print("crash-trigger kinds:")
+        for kind, example, description in trigger_catalog():
+            print(f"  {kind:<16} e.g. {example:<18} {description}")
+        return EXIT_OK
 
     def split(values: List[str]) -> List[str]:
         return [item for chunk in values for item in chunk.split(",") if item]
@@ -516,13 +523,15 @@ def cmd_faults(args: argparse.Namespace) -> int:
     report = run_campaign(
         protocols,
         traces,
-        config=default_fault_config(),
+        config=default_fault_config(persist_model=args.persist_model),
         crash_every=args.crash_every,
         random_crashes=args.random_crashes,
         phase_samples=args.phase_samples,
         tamper_crashes=args.tamper_crashes,
         tamper_target=args.tamper_target,
         seed=args.seed,
+        max_crash_states=args.max_crash_states,
+        torn_lines=args.torn_lines,
         workers=args.workers,
         run_dir=run_dir,
         resume=resume,
@@ -546,6 +555,16 @@ def cmd_faults(args: argparse.Namespace) -> int:
             "crash windows observed: "
             + ", ".join(f"{k}={v}" for k, v in sorted(occurrences.items()))
         )
+    coverage = summary["crash_states"]
+    if coverage["total_reachable"]:
+        print(
+            f"crash states: {coverage['explored']} explored of "
+            f"{coverage['total_reachable']} reachable "
+            f"(sampled={coverage['sampled']}, skipped={coverage['skipped']}, "
+            f"torn={coverage['torn']}; "
+            f"{coverage['exhaustive_cells']} exhaustive / "
+            f"{coverage['sampled_cells']} sampled cells)"
+        )
     if args.output:
         report.write_json(Path(args.output))
         print(f"wrote {args.output}")
@@ -553,9 +572,10 @@ def cmd_faults(args: argparse.Namespace) -> int:
     failed = False
     for cell in report.silent_cells():
         failed = True
+        state = f" state={cell.worst_state}" if cell.worst_state else ""
         print(
             f"SILENT DIVERGENCE: {cell.protocol}/{cell.workload} "
-            f"{cell.trigger}: {cell.first_divergence}"
+            f"{cell.trigger}:{state} {cell.first_divergence}"
         )
     for cell in report.anomalies():
         failed = True
@@ -808,6 +828,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.add_argument(
         "--tamper-target", choices=["data", "counter"], default="data"
+    )
+    faults.add_argument(
+        "--persist-model",
+        choices=["writethrough", "wpq"],
+        default="writethrough",
+        help="NVM persistence model: writethrough (stores durable "
+        "immediately) or wpq (stores staged in a write-pending queue; "
+        "crashed cells explore every reachable drain subset)",
+    )
+    faults.add_argument(
+        "--max-crash-states",
+        type=int,
+        default=4096,
+        help="crash-state budget per cell under --persist-model wpq "
+        "(beyond it, subsets are seeded-sampled, never silently dropped)",
+    )
+    faults.add_argument(
+        "--torn-lines",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="also audit one half-applied (torn) variant per pending line",
+    )
+    faults.add_argument(
+        "--list-triggers",
+        action="store_true",
+        help="print the crash-trigger catalog and exit",
     )
     faults.add_argument("--seed", type=int, default=2024)
     faults.add_argument(

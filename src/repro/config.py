@@ -43,6 +43,25 @@ def validate_integrity_mode(mode: str) -> None:
         )
 
 
+#: Persistence-ordering models for the functional NVM image (see
+#: repro.mem.nvm). ``writethrough`` applies every store to the
+#: persistent image immediately (the pre-WPQ behaviour; the default, so
+#: all existing results are bit-identical); ``wpq`` stages stores in a
+#: volatile write-pending queue whose drain order is only constrained
+#: by persist fences, enabling crash-state exploration
+#: (repro.faults.crashstates).
+PERSIST_MODELS = ("writethrough", "wpq")
+
+
+def validate_persist_model(model: str) -> None:
+    """Reject an unknown persistence model with a field-named error."""
+    if model not in PERSIST_MODELS:
+        raise ConfigValidationError(
+            "persist_model",
+            f"unknown model {model!r}; known: {PERSIST_MODELS}",
+        )
+
+
 @dataclass(frozen=True)
 class PCMConfig:
     """Timing and capacity of the DDR-based PCM main memory device."""
@@ -355,8 +374,13 @@ class SystemConfig:
     anubis: AnubisConfig = field(default_factory=AnubisConfig)
     triad: TriadConfig = field(default_factory=TriadConfig)
     seed: int = 2024
+    #: Persistence-ordering model for the functional NVM image (one of
+    #: PERSIST_MODELS). Timing is identical either way; ``wpq`` only
+    #: changes which crash states fault injection can reach.
+    persist_model: str = "writethrough"
 
     def __post_init__(self) -> None:
+        validate_persist_model(self.persist_model)
         if self.pcm.capacity_bytes < self.security.page_bytes:
             raise ConfigValidationError(
                 "pcm.capacity_bytes",

@@ -125,6 +125,14 @@ class MemoryEncryptionEngine:
         self.nvm = nvm if nvm is not None else NVMDevice(config.pcm, backend=backend)
         if functional and self.nvm.backend is None:
             self.nvm.backend = SparseMemory()
+        if functional and config.persist_model == "wpq":
+            # Stage functional stores in a write-pending queue (undo
+            # log). Must happen before the tree is built so tree,
+            # protocols, and engine all share the journaling backend.
+            self.nvm.attach_wpq()
+        #: Pre-resolved WPQ handle (None under write-through): the
+        #: persist helpers fence it and the group commits drain it.
+        self._wpq = self.nvm.wpq
         self.mdcache = MetadataCache(config.metadata_cache)
         self.registers = RegisterFile()
         self.stats = StatRegistry("mee")
@@ -388,13 +396,23 @@ class MemoryEncryptionEngine:
 
     def persist_counter_line(self, counter_index: int) -> int:
         """Write-through the counter line (crash-consistency persist)."""
+        probe = self.fault_probe
+        if probe is not None:
+            # The persist window: this line is not yet durable, and
+            # neither is anything enqueued since the last fence.
+            probe.on_persist()
         cycles = self._persist_ctr_write()
         self._md_clean(self._counter_key(counter_index))
         if self.functional:
             self.tree.persist_counter(counter_index)
+        if self._wpq is not None:
+            self._wpq.fence()
         return cycles
 
     def persist_hmac_line(self, hmac_line: int) -> int:
+        probe = self.fault_probe
+        if probe is not None:
+            probe.on_persist()
         cycles = self._persist_hmac_write()
         self._md_clean(self._hmac_key(hmac_line))
         if self.functional:
@@ -403,13 +421,20 @@ class MemoryEncryptionEngine:
                 mac = self._volatile_hmacs.pop(block, None)
                 if mac is not None:
                     self.nvm.backend.write(MetadataRegion.HMACS, block, mac)
+        if self._wpq is not None:
+            self._wpq.fence()
         return cycles
 
     def persist_tree_node(self, node: NodeId) -> int:
+        probe = self.fault_probe
+        if probe is not None:
+            probe.on_persist()
         cycles = self._persist_tree_write()
         self._md_clean(self._node_key(node))
         if self.functional:
             self.tree.persist_node(node)
+        if self._wpq is not None:
+            self._wpq.fence()
         return cycles
 
     # ------------------------------------------------------------------
@@ -432,6 +457,11 @@ class MemoryEncryptionEngine:
         persists are complete (AMNT's movement) call this first, so
         crashes injected into that tail find the write already durable.
         """
+        if self._wpq is not None:
+            # Drain before the commit callback: a crash deferred to
+            # this point must observe an empty pending set (the ADR
+            # drain is what makes the write durable).
+            self._wpq.drain()
         probe = self.fault_probe
         if probe is not None:
             probe.commit_group()
@@ -668,6 +698,11 @@ class MemoryEncryptionEngine:
         cycles += self.protocol.on_data_write(
             counter_index, block_index, path, fenced=fenced
         )
+        if self._wpq is not None:
+            # ADR drain at the group's commit point (before the commit
+            # callback, so a deferred crash finds the queue empty and
+            # the write durable — matching write_committed=True).
+            self._wpq.drain()
         if probe is not None:
             probe.commit_group()
         return cycles

@@ -166,6 +166,7 @@ class PowerFailure(ReproError):
         occurrence: int = 0,
         access_index: int = -1,
         write_committed: bool = False,
+        in_group: bool = False,
     ) -> None:
         super().__init__(
             f"power failure in phase {phase!r} "
@@ -180,3 +181,8 @@ class PowerFailure(ReproError):
         #: True when the in-flight write's persist group had already
         #: drained (the write is durable despite the crash).
         self.write_committed = write_committed
+        #: True when the crash landed *inside* an open persist group
+        #: (persist-window triggers): the in-flight write's persists
+        #: are only partially issued, so "detected" is an acceptable
+        #: recovery outcome even for crash-consistent protocols.
+        self.in_group = in_group

@@ -31,6 +31,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from repro import telemetry
 from repro.config import MetadataCacheConfig, SystemConfig, default_config
 from repro.errors import ConfigValidationError, FaultInjectionError
+from repro.faults.crashstates import (
+    DEFAULT_MAX_CRASH_STATES,
+    explore_crash_states,
+    worst_verdict,
+)
 from repro.faults.oracle import (
     VERDICT_RECOVERED,
     VERDICT_SILENT,
@@ -38,6 +43,7 @@ from repro.faults.oracle import (
 )
 from repro.faults.triggers import (
     PHASE_AMNTPP_RESTRUCTURE,
+    PHASE_PERSIST_WINDOW,
     CrashScheduler,
     CrashTrigger,
 )
@@ -85,6 +91,11 @@ class FaultCampaignSpec:
     tamper: str = ""
     churn_interval: int = 1024
     config: Optional[SystemConfig] = None
+    #: Crash-state exploration budget (persist_model="wpq" cells):
+    #: drain subsets beyond this are sampled, never silently dropped.
+    max_crash_states: int = DEFAULT_MAX_CRASH_STATES
+    #: Also audit one half-applied (torn) variant per pending line.
+    torn_lines: bool = True
 
 
 @dataclass(frozen=True, slots=True)
@@ -119,6 +130,23 @@ class FaultCellOutcome:
     phase_counts: Tuple[Tuple[str, int], ...] = ()
     anomaly: str = ""
     first_divergence: str = ""
+    #: The crash fired inside an open persist group (persist-window
+    #: triggers): partial fences are expected, so "detected" carries
+    #: no anomaly for crash-consistent protocols.
+    crash_in_group: bool = False
+    #: Crash-state coverage (persist_model="wpq" cells; all zero under
+    #: write-through). ``crash_states_total`` counts every reachable
+    #: fence-respecting drain subset including the as-crashed image;
+    #: explored = audited subsets (+ torn variants + as-crashed pass).
+    crash_states_total: int = 0
+    crash_states_explored: int = 0
+    crash_states_sampled: int = 0
+    crash_states_skipped: int = 0
+    torn_states: int = 0
+    #: "" (no WPQ) | "exhaustive" | "sampled".
+    exploration: str = ""
+    #: Label of the most severe explored state, when not recovered.
+    worst_state: str = ""
 
     @property
     def phase_label(self) -> str:
@@ -129,17 +157,22 @@ class FaultCellOutcome:
 def default_fault_config(
     capacity_bytes: int = 64 * MB,
     metadata_cache_bytes: int = 8 * KB,
+    persist_model: str = "writethrough",
 ) -> SystemConfig:
     """Campaign default: a small machine under eviction pressure.
 
     The paper-sized 64 kB metadata cache never evicts on a
     campaign-sized trace, which would leave the ``mdcache_eviction``
     crash window unexercised; an 8 kB cache restores the pressure.
+    ``persist_model="wpq"`` additionally stages functional stores in a
+    write-pending queue so crashed cells explore every reachable drain
+    subset (repro.faults.crashstates).
     """
     config = default_config(capacity_bytes=capacity_bytes)
     return replace(
         config,
         metadata_cache=MetadataCacheConfig(capacity_bytes=metadata_cache_bytes),
+        persist_model=persist_model,
     )
 
 
@@ -213,10 +246,41 @@ def run_fault_cell(
         )
 
     mee.crash()
+    # Freeze the write-pending queue before anything (tamper, recovery,
+    # per-state audits) writes through the backend again: the undo log
+    # must describe exactly the stores that were volatile at the cut.
+    wpq = mee.nvm.wpq
+    pending = wpq.freeze() if wpq is not None else []
     tamper_detail = ""
     if spec.tamper:
         tamper_detail = _tamper(mee, record, spec)
+    exploration = None
+    if pending:
+        # Audits every reachable rollback first, then leaves the
+        # machine back on the as-crashed (all-drained) image for the
+        # ordinary oracle pass below.
+        exploration = explore_crash_states(
+            mee,
+            record,
+            pending,
+            max_crash_states=spec.max_crash_states,
+            torn_lines=spec.torn_lines,
+            seed=spec.seed,
+        )
     report = run_oracle(mee, record)
+
+    verdict = report.verdict
+    first_divergence = report.first_divergence
+    worst_state = ""
+    if exploration is not None and exploration.outcomes:
+        worst = exploration.worst
+        verdict = worst_verdict([report.verdict, worst.verdict])
+        if worst.verdict != VERDICT_RECOVERED and verdict == worst.verdict:
+            worst_state = worst.label
+        if not first_divergence:
+            for state in exploration.silent_states():
+                first_divergence = f"[{state.label}] {state.detail}"
+                break
 
     anomaly = ""
     if spec.tamper and tamper_detail and report.verdict == VERDICT_RECOVERED:
@@ -224,12 +288,35 @@ def run_fault_cell(
     elif (
         not spec.tamper
         and mee.protocol.is_crash_consistent
+        and not record.crash_in_group
         and report.verdict != VERDICT_RECOVERED
     ):
+        # Judged on the as-crashed image: a rolled-back drain subset
+        # that recovery refuses loudly is correct "detected" behaviour,
+        # not an anomaly — only silent divergence (caught above via the
+        # cell verdict) ever is. Inside an open persist group the
+        # write's fences are partially issued, so even the as-crashed
+        # image may legitimately be refused.
         anomaly = "clean-cell-not-recovered"
 
+    if wpq is not None:
+        states_total = exploration.total_reachable if exploration else 1
+        states_explored = (exploration.explored if exploration else 0) + 1
+        states_sampled = exploration.sampled if exploration else 0
+        states_skipped = exploration.skipped if exploration else 0
+        torn_states = exploration.torn if exploration else 0
+        exploration_label = (
+            "exhaustive"
+            if exploration is None or exploration.exhaustive
+            else "sampled"
+        )
+    else:
+        states_total = states_explored = states_sampled = 0
+        states_skipped = torn_states = 0
+        exploration_label = ""
+
     return FaultCellOutcome(
-        verdict=report.verdict,
+        verdict=verdict,
         crash_phase=record.crash_phase,
         crash_occurrence=record.crash_occurrence,
         crash_access_index=record.crash_access_index,
@@ -246,7 +333,15 @@ def run_fault_cell(
         in_flight_outcome=report.in_flight_outcome,
         tamper_detail=tamper_detail,
         anomaly=anomaly,
-        first_divergence=report.first_divergence,
+        first_divergence=first_divergence,
+        crash_in_group=record.crash_in_group,
+        crash_states_total=states_total,
+        crash_states_explored=states_explored,
+        crash_states_sampled=states_sampled,
+        crash_states_skipped=states_skipped,
+        torn_states=torn_states,
+        exploration=exploration_label,
+        worst_state=worst_state,
         **common,
     )
 
@@ -418,6 +513,33 @@ class CampaignReport:
     def silent_cells(self) -> List[FaultCellOutcome]:
         return [c for c in self.cells if c.verdict == VERDICT_SILENT]
 
+    def crash_state_coverage(self) -> Dict[str, int]:
+        """Aggregate crash-state exploration counts across all cells.
+
+        All zero for write-through campaigns (no WPQ, one reachable
+        state per crash, already covered by the ordinary oracle pass).
+        """
+        coverage = {
+            "total_reachable": 0,
+            "explored": 0,
+            "sampled": 0,
+            "skipped": 0,
+            "torn": 0,
+            "exhaustive_cells": 0,
+            "sampled_cells": 0,
+        }
+        for cell in self.cells:
+            coverage["total_reachable"] += cell.crash_states_total
+            coverage["explored"] += cell.crash_states_explored
+            coverage["sampled"] += cell.crash_states_sampled
+            coverage["skipped"] += cell.crash_states_skipped
+            coverage["torn"] += cell.torn_states
+            if cell.exploration == "exhaustive":
+                coverage["exhaustive_cells"] += 1
+            elif cell.exploration == "sampled":
+                coverage["sampled_cells"] += 1
+        return coverage
+
     def anomalies(self) -> List[FaultCellOutcome]:
         return [
             c for c in self.baselines + self.cells if c.anomaly
@@ -437,6 +559,7 @@ class CampaignReport:
             "silent_divergence": len(self.silent_cells()),
             "anomalies": len(self.anomalies()),
             "failed_cells": len(self.failures),
+            "crash_states": self.crash_state_coverage(),
         }
 
     def write_json(self, path) -> None:
@@ -488,6 +611,17 @@ def plan_cells(
                     trigger=CrashTrigger("phase", ordinal, phase),
                 )
             )
+    # Persist-window cells cut power *inside* the open group (a phase
+    # trigger on the same window defers to the group commit instead):
+    # together the two kinds cover both edges of every persist group.
+    window_count = dict(baseline.phase_counts).get(PHASE_PERSIST_WINDOW, 0)
+    for ordinal in spread_ordinals(window_count, phase_samples):
+        specs.append(
+            replace(
+                probe_spec,
+                trigger=CrashTrigger("persist-window", ordinal),
+            )
+        )
     for i in range(tamper_crashes):
         at = max(1, total * (i + 1) // (tamper_crashes + 1))
         specs.append(
@@ -511,6 +645,8 @@ def run_campaign(
     tamper_target: str = "data",
     seed: Seed = 0,
     churn_interval: int = 1024,
+    max_crash_states: int = DEFAULT_MAX_CRASH_STATES,
+    torn_lines: bool = True,
     workers: Optional[int] = 1,
     run_dir: Optional[Union[str, Path]] = None,
     resume: bool = False,
@@ -538,6 +674,8 @@ def run_campaign(
             trigger=None,
             seed=seed,
             churn_interval=churn_interval,
+            max_crash_states=max_crash_states,
+            torn_lines=torn_lines,
         )
         for protocol in protocols
         for trace in traces
@@ -552,6 +690,9 @@ def run_campaign(
         "tamper_target": tamper_target,
         "seed": seed,
         "churn_interval": churn_interval,
+        "persist_model": config.persist_model,
+        "max_crash_states": max_crash_states,
+        "torn_lines": torn_lines,
         "capacity_bytes": config.pcm.capacity_bytes,
         "metadata_cache_bytes": config.metadata_cache.capacity_bytes,
     }

@@ -96,7 +96,14 @@ def run_oracle(mee, record: ReplayRecord) -> OracleReport:
         if not mee.tree.verify_counter(index, persisted_only=True).ok:
             report.pages_inconsistent += 1
 
+    # The in-flight block is judged by the old/new/detected contract
+    # below, not by byte equality: its golden entry still holds the
+    # pre-crash payload, and a legitimately applied new value must not
+    # be miscounted as divergence.
+    in_flight_base = record.in_flight[0] if record.in_flight else None
     for base, payload in sorted(record.golden.items()):
+        if base == in_flight_base:
+            continue
         report.blocks_checked += 1
         try:
             data = mee.read_block_data(base)

@@ -5,13 +5,18 @@ The scheduler is the campaign's armed bomb: wired onto a live machine
 ``phase_hook``), it watches the replay and raises
 :class:`~repro.errors.PowerFailure` when its trigger condition is met.
 
-Two trigger kinds exist:
+Three trigger kinds exist:
 
 * ``"access"`` — fire at the start of trace access ``at`` (the
   every-Nth and seeded-random sweeps are built from these);
 * ``"phase"`` — fire at the ``at``-th occurrence of a named
   instrumentation phase, landing the crash *inside* a protocol
-  operation where torn metadata is actually possible.
+  operation where torn metadata is actually possible;
+* ``"persist-window"`` — fire at the ``at``-th persist write-through,
+  *without* the persist-group deferral below: the crash lands between
+  two fences of an open group, which is exactly the window the WPQ
+  persistence model (repro.mem.nvm) plus the crash-state explorer
+  (repro.faults.crashstates) are built to audit.
 
 Crash-atomicity model. The functional tree updates the NV root register
 atomically with every counter bump, so a failure raised between a
@@ -46,21 +51,62 @@ PHASE_MDCACHE_EVICTION = "mdcache_eviction"
 PHASE_AMNT_MOVEMENT = "amnt_movement"
 PHASE_STRICT_WRITE_THROUGH = "strict_write_through"
 PHASE_AMNTPP_RESTRUCTURE = "amntpp_restructure"
+#: Counted by :meth:`CrashScheduler.on_persist` immediately before
+#: every persist write-through (the moment the line is *not yet*
+#: durable). Phase triggers on this name defer like any other in-group
+#: phase; the ``"persist-window"`` trigger kind fires here undeferred.
+PHASE_PERSIST_WINDOW = "persist_window"
 
 KNOWN_PHASES: Tuple[str, ...] = (
     PHASE_MDCACHE_EVICTION,
     PHASE_AMNT_MOVEMENT,
     PHASE_STRICT_WRITE_THROUGH,
     PHASE_AMNTPP_RESTRUCTURE,
+    PHASE_PERSIST_WINDOW,
 )
+
+#: ``--list-triggers`` catalogue: (kind, example, description).
+TRIGGER_KINDS: Tuple[Tuple[str, str, str], ...] = (
+    (
+        "access",
+        "access@N",
+        "cut power at the start of trace access N (0-based); the "
+        "every-Nth, seeded-random, and tamper sweeps are built from "
+        "these",
+    ),
+    (
+        "phase",
+        "<phase>@N",
+        "cut power at the Nth occurrence (1-based) of a named "
+        "instrumentation window; fires inside an uncommitted persist "
+        "group are deferred to the group's commit (ADR drain) point",
+    ),
+    (
+        "persist-window",
+        "persist-window@N",
+        "cut power immediately before the Nth persist write-through "
+        "(1-based), WITHOUT persist-group deferral: the in-flight "
+        "write's fences are only partially issued, and under "
+        "persist_model=wpq every fence-respecting drain subset of the "
+        "pending lines is explored as its own crash state",
+    ),
+)
+
+
+def trigger_catalog() -> Tuple[Tuple[str, str, str], ...]:
+    """Every trigger kind with an example ``describe()`` string and a
+    one-line explanation (the ``repro faults --list-triggers`` body)."""
+    return TRIGGER_KINDS
 
 
 @dataclass(frozen=True, slots=True)
 class CrashTrigger:
     """Picklable description of when the power fails.
 
-    ``kind`` is ``"access"`` (``at`` = 0-based trace position) or
-    ``"phase"`` (``at`` = 1-based occurrence of ``phase``).
+    ``kind`` is ``"access"`` (``at`` = 0-based trace position),
+    ``"phase"`` (``at`` = 1-based occurrence of ``phase``), or
+    ``"persist-window"`` (``at`` = 1-based persist write-through,
+    fired inside persist groups without deferral).
     """
 
     kind: str
@@ -68,18 +114,20 @@ class CrashTrigger:
     phase: str = ""
 
     def __post_init__(self) -> None:
-        if self.kind not in ("access", "phase"):
+        if self.kind not in ("access", "phase", "persist-window"):
             raise ConfigError(f"unknown trigger kind {self.kind!r}")
         if self.kind == "phase" and not self.phase:
             raise ConfigError("phase triggers need a phase name")
         if self.kind == "access" and self.at < 0:
             raise ConfigError("access triggers need a position >= 0")
-        if self.kind == "phase" and self.at < 1:
-            raise ConfigError("phase occurrences are 1-based")
+        if self.kind in ("phase", "persist-window") and self.at < 1:
+            raise ConfigError(f"{self.kind} occurrences are 1-based")
 
     def describe(self) -> str:
         if self.kind == "access":
             return f"access@{self.at}"
+        if self.kind == "persist-window":
+            return f"persist-window@{self.at}"
         return f"{self.phase}@{self.at}"
 
 
@@ -96,7 +144,7 @@ class CrashScheduler:
         self.access_index = -1
         self.phase_counts: Dict[str, int] = {}
         self.fired: Optional[PowerFailure] = None
-        self._in_group = False
+        self._group_depth = 0
         self._group_committed = False
         self._pending: Optional[Tuple[str, int]] = None
 
@@ -105,7 +153,7 @@ class CrashScheduler:
     def on_access(self, index: int) -> None:
         """Called by the replay driver at the start of each access."""
         self.access_index = index
-        self._in_group = False
+        self._group_depth = 0
         self._group_committed = False
         trigger = self.trigger
         if (
@@ -128,21 +176,53 @@ class CrashScheduler:
             and trigger.phase == name
             and count == trigger.at
         ):
-            if self._in_group and not self._group_committed:
+            if self._group_depth > 0 and not self._group_committed:
                 self._pending = (name, count)
             else:
                 self._raise(name, count)
 
+    def on_persist(self) -> None:
+        """Called by the MEE immediately *before* each persist
+        write-through: the window where the fence's line is not yet
+        durable. Counts as the ``persist_window`` phase; the
+        ``"persist-window"`` trigger kind fires here with no group
+        deferral (that un-deferred torn state is the one the WPQ
+        crash-state explorer exists to audit)."""
+        count = self.phase_counts.get(PHASE_PERSIST_WINDOW, 0) + 1
+        self.phase_counts[PHASE_PERSIST_WINDOW] = count
+        trigger = self.trigger
+        if trigger is None or count != trigger.at:
+            return
+        if trigger.kind == "persist-window":
+            self._raise(PHASE_PERSIST_WINDOW, count)
+        elif trigger.kind == "phase" and trigger.phase == PHASE_PERSIST_WINDOW:
+            if self._group_depth > 0 and not self._group_committed:
+                self._pending = (PHASE_PERSIST_WINDOW, count)
+            else:
+                self._raise(PHASE_PERSIST_WINDOW, count)
+
     def begin_group(self) -> None:
-        """A data write's persist group opens (engine write path)."""
-        self._in_group = True
-        self._group_committed = False
+        """A data write's persist group opens (engine write path).
+
+        Groups nest (an LLC victim writeback inside another write's
+        group, a re-entrant engine call): depth is tracked so an inner
+        ``begin``/``commit`` pair cannot silently reset the outer
+        group's deferral state — deferred crashes release only when the
+        outermost group commits.
+        """
+        self._group_depth += 1
+        if self._group_depth == 1:
+            self._group_committed = False
 
     def commit_group(self) -> None:
         """The in-flight write's persists are durable (ADR drain
-        point); a deferred crash raises here."""
+        point); a deferred crash raises here. Inner commits of a nested
+        group only pop depth."""
+        if self._group_depth > 0:
+            self._group_depth -= 1
+            if self._group_depth > 0:
+                return
         self._group_committed = True
-        self._in_group = False
         if self._pending is not None:
             phase, occurrence = self._pending
             self._pending = None
@@ -156,6 +236,7 @@ class CrashScheduler:
             occurrence=occurrence,
             access_index=self.access_index,
             write_committed=self._group_committed,
+            in_group=self._group_depth > 0 and not self._group_committed,
         )
         self.fired = failure
         raise failure

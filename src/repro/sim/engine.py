@@ -219,6 +219,11 @@ class ReplayRecord:
     crash_occurrence: int = 0
     crash_access_index: int = -1
     crash_write_committed: bool = False
+    #: The crash fired inside an open persist group (persist-window
+    #: triggers): the in-flight write's fences were partially issued,
+    #: so a loud "detected" recovery is acceptable even for
+    #: crash-consistent protocols.
+    crash_in_group: bool = False
     #: Golden shadow copy: physical block base -> last durable payload.
     golden: Dict[int, bytes] = field(default_factory=dict)
     #: The write in flight at the crash, if its persist group had not
@@ -306,6 +311,7 @@ def drive_memory_boundary(
         record.crash_occurrence = failure.occurrence
         record.crash_access_index = failure.access_index
         record.crash_write_committed = failure.write_committed
+        record.crash_in_group = failure.in_group
         if pending is not None:
             if failure.write_committed:
                 # The group drained before the lights went out: the

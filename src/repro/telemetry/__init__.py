@@ -124,6 +124,17 @@ def record_fault_outcomes(outcomes) -> None:
         reg.counter(f"faults.verdict.{outcome.verdict}").value += 1
         if outcome.crash_phase:
             reg.counter(f"faults.crash_phase.{outcome.crash_phase}").value += 1
+        # Crash-state coverage (WPQ persist model); the getattr guards
+        # keep older journaled outcome shapes replayable.
+        reg.counter("faults.crash_states.explored").value += getattr(
+            outcome, "crash_states_explored", 0
+        )
+        reg.counter("faults.crash_states.sampled").value += getattr(
+            outcome, "crash_states_sampled", 0
+        )
+        reg.counter("faults.crash_states.skipped").value += getattr(
+            outcome, "crash_states_skipped", 0
+        )
 
 
 __all__ = [
