@@ -28,6 +28,7 @@ from __future__ import annotations
 import platform
 import sys
 import time
+from datetime import datetime, timezone
 from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -39,6 +40,7 @@ from repro.sim.parallel import (
     SweepCell,
     _pool_entry,
     default_workers,
+    precompile_plans,
     precompile_streams,
     run_cell,
     validate_cells,
@@ -53,17 +55,25 @@ from repro.sim.supervisor import (
     build_manifest,
     split_outcomes,
 )
-from repro.util.atomicio import atomic_write_json
+from repro.util.atomicio import (
+    atomic_append_jsonl,
+    atomic_write_json,
+    read_jsonl,
+)
 from repro.util.rng import Seed
 from repro.workloads.registry import (
     boundary_stream_cache_clear,
     materialize_trace,
+    metadata_plan_cache_clear,
     profile_spec,
     trace_cache_clear,
 )
 
 #: Deterministic per-cell results artifact of a resilient sweep.
 SWEEP_RESULTS_NAME = "SWEEP_results.json"
+
+#: Append-only trend log: one JSONL entry per ``repro perf`` run.
+BENCH_HISTORY_NAME = "BENCH_history.jsonl"
 
 #: Cache-resident, balanced, and pointer-chasing — three distinct
 #: hot-path mixes so the reference number is not hostage to one regime.
@@ -128,8 +138,12 @@ def _time_serial_replay(
     hierarchy is walked once per (trace, OS variant) and the compiled
     boundary stream is replayed into every protocol. The stream cache
     is cleared first so the leg pays its own compile cost — the number
-    is honest about what a cold grid costs, not just the replays."""
-    replay_cells = [replace(cell, replay=True) for cell in cells]
+    is honest about what a cold grid costs, not just the replays.
+
+    ``plan=False`` pins the leg to the *unplanned* replay loop so the
+    trajectory stays comparable with pre-plan BENCH_sweep.json entries
+    and the planned leg below has an honest denominator."""
+    replay_cells = [replace(cell, replay=True, plan=False) for cell in cells]
     trace_cache_clear()
     boundary_stream_cache_clear()
     start = time.perf_counter()
@@ -138,6 +152,31 @@ def _time_serial_replay(
         run_cell(cell, config)
     elapsed = time.perf_counter() - start
     boundary_stream_cache_clear()
+    return elapsed
+
+
+def _time_serial_plan(
+    cells: Sequence[SweepCell], config: SystemConfig
+) -> float:
+    """The replay leg with metadata-plan compilation on top: boundary
+    streams *and* per-event metadata plans are compiled cold inside the
+    timed region (stream and plan caches cleared first), then every
+    cell replays through :func:`repro.sim.engine.simulate_from_plan`.
+    The delta against ``serial_replay`` prices exactly what the plan
+    compiler buys — pre-resolved metadata addresses, interned cache
+    keys, premixed set indices — net of its own compile cost."""
+    plan_cells = [replace(cell, replay=True, plan=True) for cell in cells]
+    trace_cache_clear()
+    boundary_stream_cache_clear()
+    metadata_plan_cache_clear()
+    start = time.perf_counter()
+    precompile_streams(plan_cells, config)
+    precompile_plans(plan_cells, config)
+    for cell in plan_cells:
+        run_cell(cell, config)
+    elapsed = time.perf_counter() - start
+    boundary_stream_cache_clear()
+    metadata_plan_cache_clear()
     return elapsed
 
 
@@ -177,16 +216,23 @@ def run_reference_bench(
     output: Optional[Path] = Path("BENCH_sweep.json"),
     include_uncached: bool = True,
     include_replay: bool = True,
+    include_plan: bool = True,
     include_telemetry: bool = True,
     rounds: int = REFERENCE_ROUNDS,
     metrics_out: Optional[Path] = None,
+    history: Optional[Path] = None,
 ) -> Dict[str, object]:
     """Time the reference sweep; optionally write ``BENCH_sweep.json``.
 
     Returns the report dict. ``workers=None`` auto-sizes to the visible
     core count. ``include_uncached=False`` skips the slowest leg (CI
     smoke runs on tiny grids don't need it); ``include_replay=False``
-    skips the boundary-replay leg (the ``--no-replay`` escape hatch).
+    skips the boundary-replay leg (the ``--no-replay`` escape hatch);
+    ``include_plan=False`` skips the metadata-plan leg (``--no-plan``).
+    ``history`` names a JSONL trend log: each run appends one entry
+    (headline timings + speedups) via the durable-append helper, and
+    the report gains a ``history`` block holding the previous entry so
+    callers can print the delta.
     Each of the ``rounds`` rounds runs every enabled leg once,
     interleaved; the headline figure per leg is its best round, with
     raw samples preserved in ``samples_seconds``.
@@ -233,6 +279,10 @@ def run_reference_bench(
         legs.append(
             ("serial_replay", lambda: _time_serial_replay(cells, config))
         )
+    if include_plan:
+        legs.append(
+            ("serial_plan", lambda: _time_serial_plan(cells, config))
+        )
     if run_parallel:
         legs.append(
             ("parallel", lambda: _time_parallel(cells, config, workers))
@@ -258,6 +308,7 @@ def run_reference_bench(
         min(samples["serial_telemetry"]) if include_telemetry else None
     )
     serial_replay = min(samples["serial_replay"]) if include_replay else None
+    serial_plan = min(samples["serial_plan"]) if include_plan else None
     parallel_seconds = min(samples["parallel"]) if run_parallel else None
 
     leg_status = {name: "measured" for name, _ in legs}
@@ -288,6 +339,7 @@ def run_reference_bench(
             "serial": serial_seconds,
             "serial_telemetry": serial_telemetry,
             "serial_replay": serial_replay,
+            "serial_plan": serial_plan,
             "parallel": parallel_seconds,
         },
         "samples_seconds": {
@@ -303,6 +355,18 @@ def run_reference_bench(
             "replay_vs_serial": (
                 serial_seconds / serial_replay
                 if serial_replay is not None and serial_replay > 0
+                else None
+            ),
+            "plan_vs_serial": (
+                serial_seconds / serial_plan
+                if serial_plan is not None and serial_plan > 0
+                else None
+            ),
+            "plan_vs_replay": (
+                serial_replay / serial_plan
+                if serial_replay is not None
+                and serial_plan is not None
+                and serial_plan > 0
                 else None
             ),
             "parallel_vs_serial": (
@@ -338,6 +402,9 @@ def run_reference_bench(
         }
     if output is not None:
         atomic_write_json(Path(output), report)
+    if history is not None:
+        previous = append_bench_history(Path(history), report)
+        report["history"] = {"path": str(history), "previous": previous}
     if metrics_out is not None and include_telemetry:
         from repro.telemetry import write_metrics_artifact
 
@@ -377,6 +444,7 @@ def run_resilient_sweep(
     seed: Seed = REFERENCE_SEED,
     policy: Optional[SupervisionPolicy] = None,
     replay: bool = True,
+    plan: bool = True,
 ) -> Dict[str, object]:
     """Run the reference grid under supervision, journaled in ``run_dir``.
 
@@ -394,19 +462,22 @@ def run_resilient_sweep(
     every protocol cell; results are bit-identical to the direct path,
     so journals from either mode resume interchangeably (cell keys do
     not encode the execution strategy). ``replay=False`` is the
-    ``--no-replay`` escape hatch.
+    ``--no-replay`` escape hatch; ``plan=False`` keeps replay but
+    skips metadata-plan compilation (``--no-plan``).
     """
     from repro.bench.export import export_experiment
 
     config = default_config()
     cells = reference_cells(benchmarks, protocols, accesses, seed)
     if replay:
-        cells = [replace(cell, replay=True) for cell in cells]
+        cells = [replace(cell, replay=True, plan=plan) for cell in cells]
     validate_cells(cells)
     if replay:
-        # Compile each distinct data side once up front so fork-started
-        # supervised workers inherit the warm stream cache.
+        # Compile each distinct data side (and metadata plan) once up
+        # front so fork-started supervised workers inherit warm caches.
         precompile_streams(cells, config)
+        if plan:
+            precompile_plans(cells, config)
     keys = [sweep_cell_key(i, cell) for i, cell in enumerate(cells)]
     parameters = {
         "benchmarks": list(benchmarks),
@@ -452,6 +523,72 @@ def run_resilient_sweep(
     }
 
 
+# ----------------------------------------------------------------------
+# trend log
+# ----------------------------------------------------------------------
+
+
+def history_entry(report: Dict[str, object]) -> Dict[str, object]:
+    """The headline slice of a perf report that the trend log keeps:
+    grid identity, best-round timings, and derived speedups — enough to
+    diff any two runs without storing raw samples."""
+    return {
+        "recorded_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "grid": report["grid"],
+        "timings_seconds": report["timings_seconds"],
+        "speedups": report["speedups"],
+    }
+
+
+def append_bench_history(
+    path: Path, report: Dict[str, object]
+) -> Optional[Dict[str, object]]:
+    """Append this run's headline numbers to the JSONL trend log.
+
+    Returns the previous (most recent) entry so the caller can print a
+    delta, or ``None`` on the log's first run. The append is the
+    durable single-line write of
+    :func:`repro.util.atomicio.atomic_append_jsonl`, so a crash can
+    never corrupt earlier history.
+    """
+    entries = read_jsonl(path)
+    previous = entries[-1] if entries else None
+    atomic_append_jsonl(path, history_entry(report))
+    return previous
+
+
+def format_history_delta(
+    report: Dict[str, object], previous: Optional[Dict[str, object]]
+) -> str:
+    """Human-readable delta of this run against the previous log entry."""
+    if previous is None:
+        return "history: first recorded run (no previous entry to diff)"
+    lines = [f"history: vs previous run ({previous.get('recorded_at')})"]
+    timings = report["timings_seconds"]
+    prev_timings = previous.get("timings_seconds") or {}
+    for leg, value in timings.items():
+        before = prev_timings.get(leg)
+        if value is None or before is None or before <= 0:
+            continue
+        change = (value - before) / before * 100.0
+        lines.append(
+            f"  {leg:16s}: {value:7.2f} s  (was {before:.2f} s, "
+            f"{change:+.1f}%)"
+        )
+    speedups = report["speedups"]
+    prev_speedups = previous.get("speedups") or {}
+    for name, value in speedups.items():
+        before = prev_speedups.get(name)
+        if value is None or before is None:
+            continue
+        lines.append(
+            f"  {name:16s}: {value:7.2f}x (was {before:.2f}x)"
+        )
+    return "\n".join(lines)
+
+
 def format_report(report: Dict[str, object]) -> str:
     """Human-readable rendering of a perf report."""
     grid = report["grid"]
@@ -490,6 +627,8 @@ def format_report(report: Dict[str, object]) -> str:
         lines.append(leg_line("serial, telemetry on   ", "serial_telemetry"))
     if timings.get("serial_replay") is not None:
         lines.append(leg_line("serial, boundary replay", "serial_replay"))
+    if timings.get("serial_plan") is not None:
+        lines.append(leg_line("serial, metadata plan  ", "serial_plan"))
     if timings.get("parallel") is not None:
         lines.append(leg_line("parallel               ", "parallel"))
     elif leg_status.get("parallel") == "skipped_single_cpu":
@@ -502,6 +641,14 @@ def format_report(report: Dict[str, object]) -> str:
     if speedups.get("replay_vs_serial") is not None:
         lines.append(
             f"replay speedup         : {speedups['replay_vs_serial']:8.2f}x"
+        )
+    if speedups.get("plan_vs_serial") is not None:
+        lines.append(
+            f"plan speedup           : {speedups['plan_vs_serial']:8.2f}x"
+        )
+    if speedups.get("plan_vs_replay") is not None:
+        lines.append(
+            f"plan vs replay         : {speedups['plan_vs_replay']:8.2f}x"
         )
     if speedups["parallel_vs_serial"] is not None:
         lines.append(

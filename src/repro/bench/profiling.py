@@ -50,7 +50,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.config import SystemConfig, default_config, validate_integrity_mode
-from repro.sim.engine import simulate, simulate_from_stream
+from repro.sim.engine import simulate, simulate_from_plan, simulate_from_stream
 from repro.sim.machine import build_machine
 from repro.sim.parallel import default_workers
 from repro.util.atomicio import atomic_write_json
@@ -63,8 +63,10 @@ from repro.workloads.registry import (
 
 #: Schema tag embedded in every profile artifact; bump on breaking
 #: layout changes so downstream readers can dispatch. v2 added the
-#: ``boundary_compile`` phase and the ``run.replay`` flag.
-PROFILE_SCHEMA = "repro.profile/v2"
+#: ``boundary_compile`` phase and the ``run.replay`` flag; v3 added
+#: ``boundary_plan`` (metadata-plan compilation, ``plan=True`` runs
+#: only) and the ``run.plan`` flag.
+PROFILE_SCHEMA = "repro.profile/v3"
 
 #: Phases with directly measured timers (``engine_other`` and ``total``
 #: are derived). Order is the pipeline order, used for display.
@@ -72,6 +74,7 @@ MEASURED_PHASES = (
     "trace_gen",
     "setup",
     "boundary_compile",
+    "boundary_plan",
     "engine",
     "mee",
     "bmt",
@@ -81,7 +84,14 @@ MEASURED_PHASES = (
 #: Methods whose cumulative time defines the ``mee`` sub-phase. The
 #: engine hoists these bound methods once per run, so instance-level
 #: wrappers installed *before* simulate() capture every call.
-_MEE_METHODS = ("read_block", "write_block", "read_block_data")
+#: ``replay_plan_events`` is the plan-driven replay's entire metadata
+#: walk (plan runs never enter read_block/write_block).
+_MEE_METHODS = (
+    "read_block",
+    "write_block",
+    "read_block_data",
+    "replay_plan_events",
+)
 
 #: Functional-tree methods charged to the ``bmt`` sub-phase.
 _BMT_METHODS = (
@@ -187,6 +197,7 @@ def profile_run(
     capture_cprofile: bool = True,
     top: int = 25,
     replay: bool = False,
+    plan: bool = False,
 ) -> Dict[str, Any]:
     """Profile one simulation cell; returns the artifact document.
 
@@ -200,6 +211,9 @@ def profile_run(
     :func:`~repro.sim.replay.compile_boundary_stream` and ``engine``
     times the stream replay into the MEE — so the split shows what a
     sweep's first protocol pays versus every subsequent one.
+    ``plan=True`` (requires ``replay``) adds ``boundary_plan``: a cold
+    :func:`~repro.sim.plan.compile_metadata_plan` over the stream,
+    with the engine phase then timing the plan-driven replay.
     """
     validate_integrity_mode(integrity_mode)
     config = config or default_config()
@@ -219,7 +233,11 @@ def profile_run(
             integrity_mode=integrity_mode,
         )
 
+    if plan and not replay:
+        raise ValueError("plan=True requires replay=True")
+
     stream = None
+    metadata_plan = None
     if replay:
         from repro.core.protocol import protocol_uses_modified_os
         from repro.sim.replay import compile_boundary_stream
@@ -231,6 +249,11 @@ def profile_run(
                 seed=seed,
                 modified_os=protocol_uses_modified_os(protocol),
             )
+        if plan:
+            from repro.sim.plan import compile_metadata_plan
+
+            with clock.measure("boundary_plan"):
+                metadata_plan = compile_metadata_plan(stream, config)
 
     _instrument(machine.mee, _MEE_METHODS, clock, "mee")
     tree = getattr(machine.mee, "tree", None)
@@ -242,7 +265,9 @@ def profile_run(
         profiler.enable()
     try:
         with clock.measure("engine"):
-            if replay:
+            if metadata_plan is not None:
+                result = simulate_from_plan(stream, metadata_plan, machine)
+            elif replay:
                 result = simulate_from_stream(stream, machine)
             else:
                 result = simulate(machine, trace, seed=seed)
@@ -267,6 +292,7 @@ def profile_run(
         phases["trace_gen"]
         + phases["setup"]
         + phases["boundary_compile"]
+        + phases["boundary_plan"]
         + engine
         + phases["export"]
     )
@@ -290,6 +316,7 @@ def profile_run(
             "integrity_mode": integrity_mode,
             "cprofile": capture_cprofile,
             "replay": replay,
+            "plan": plan,
         },
         # Mirrors BENCH_sweep.json's environment block so profiles from
         # different machines are comparable. A profile run is always
@@ -318,7 +345,7 @@ def write_profile_artifact(document: Dict[str, Any], path) -> Path:
 
 
 def validate_profile_document(document: Any) -> List[str]:
-    """Check a profile artifact against the v2 schema.
+    """Check a profile artifact against the v3 schema.
 
     Returns a list of human-readable problems; an empty list means the
     document is valid. Used by the CI smoke job and the test suite, and
@@ -344,6 +371,7 @@ def validate_profile_document(document: Any) -> List[str]:
             ("functional", bool),
             ("integrity_mode", str),
             ("replay", bool),
+            ("plan", bool),
         ):
             if not isinstance(run.get(key), kinds):
                 problems.append(f"run.{key} missing or mistyped")
@@ -400,7 +428,7 @@ def format_profile(document: Dict[str, Any], top: int = 10) -> str:
         f"profile: {run['suite']}/{run['benchmark']} under {run['protocol']}"
         f"  ({run['accesses']} accesses, seed {run['seed']}, "
         f"functional={run['functional']}, mode={run['integrity_mode']}, "
-        f"replay={run.get('replay', False)})",
+        f"replay={run.get('replay', False)}, plan={run.get('plan', False)})",
     ]
     env = document.get("environment")
     if env:
@@ -412,8 +440,17 @@ def format_profile(document: Dict[str, Any], top: int = 10) -> str:
     lines.extend(["", "phase attribution (seconds, fraction of total):"])
     phases = document["phases"]
     fractions = document["phase_fractions"]
-    order = ("trace_gen", "setup", "boundary_compile", "engine", "export")
+    order = (
+        "trace_gen",
+        "setup",
+        "boundary_compile",
+        "boundary_plan",
+        "engine",
+        "export",
+    )
     for name in order:
+        if name not in phases:  # tolerate pre-v3 documents
+            continue
         lines.append(
             f"  {name:<16s} {phases[name]:>9.4f}s  {fractions[name]:>6.1%}"
         )

@@ -66,12 +66,36 @@ def format_matrix(
     return format_table(rows, title=title)
 
 
+def derive_hit_ratios(counters: Mapping[str, Number]) -> Dict[str, float]:
+    """Hit ratios derivable from ``X.hits`` / ``X.misses`` counter pairs.
+
+    Any subsystem that publishes both counters (the trace, stream, and
+    plan LRU caches; any cache stats export) gets an ``X.hit_ratio``
+    row for free — the number a human actually wants from the raw pair.
+    Pairs that never fired (hits + misses == 0) are omitted rather than
+    reported as a misleading 0.0.
+    """
+    ratios: Dict[str, float] = {}
+    for name, hits in counters.items():
+        if not name.endswith(".hits"):
+            continue
+        base = name[: -len(".hits")]
+        misses = counters.get(base + ".misses")
+        if misses is None:
+            continue
+        total = hits + misses
+        if total:
+            ratios[base + ".hit_ratio"] = hits / total
+    return ratios
+
+
 def format_metrics(document: Mapping, source: str = "") -> str:
     """Render a ``repro.metrics/v1`` document as snapshot tables.
 
     One table per metric kind that has data (counters, gauges,
-    histograms), plus a one-line span summary — the ``repro metrics``
-    subcommand's output.
+    histograms), plus derived hit-ratio rows for every
+    ``X.hits``/``X.misses`` counter pair and a one-line span summary —
+    the ``repro metrics`` subcommand's output.
     """
     metrics = document.get("metrics", {})
     sections: List[str] = []
@@ -83,6 +107,17 @@ def format_metrics(document: Mapping, source: str = "") -> str:
             for name in sorted(counters)
         ]
         sections.append(format_table(rows, title=f"counters{title_suffix}"))
+        ratios = derive_hit_ratios(counters)
+        if ratios:
+            ratio_rows: List[Mapping[str, Cell]] = [
+                {"cache": name, "hit_ratio": ratios[name]}
+                for name in sorted(ratios)
+            ]
+            sections.append(
+                format_table(
+                    ratio_rows, title=f"derived hit ratios{title_suffix}"
+                )
+            )
     gauges = metrics.get("gauges", {})
     if gauges:
         rows = [

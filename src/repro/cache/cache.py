@@ -84,6 +84,22 @@ def _mix_key(key: Key) -> int:
 _MIX_MEMO: dict = {}
 
 
+def mix_of(key: Key) -> int:
+    """The memoized deterministic mix of ``key``.
+
+    The value callers may pass to
+    :meth:`SetAssociativeCache.access_line_premixed` — exactly what the
+    default (``set_of=None``) placement derives per access, resolved
+    once. The metadata-plan compiler uses this to bake set indices into
+    its per-event records.
+    """
+    mixed = _MIX_MEMO.get(key)
+    if mixed is None:
+        mixed = _mix_key(key)
+        _MIX_MEMO[key] = mixed
+    return mixed
+
+
 @dataclass(slots=True)
 class CacheLine:
     """State of one resident line."""
@@ -132,6 +148,7 @@ class SetAssociativeCache:
         self._evictions = self.stats.counter("evictions")
         self._dirty_evictions = self.stats.counter("dirty_evictions")
         self._index_memo: dict = {}
+        self._set_mask = num_sets - 1
 
     # -- placement -------------------------------------------------------
 
@@ -207,6 +224,37 @@ class SetAssociativeCache:
         if index is None:
             index = self._index(key)
         bucket = self._sets[index]
+        line = bucket.get(key)
+        if line is not None:
+            if dirty:
+                line.dirty = True
+            bucket.move_to_end(key)
+            self._hits.value += 1
+            return True
+        self._misses.value += 1
+        victim: Optional[EvictedLine] = None
+        if len(bucket) >= self.associativity:
+            victim_key, victim_line = bucket.popitem(last=False)
+            victim = EvictedLine(victim_key, victim_line.dirty)
+            self._evictions.value += 1
+            if victim_line.dirty:
+                self._dirty_evictions.value += 1
+        bucket[key] = CacheLine(key, dirty)
+        self._fills.value += 1
+        return victim
+
+    def access_line_premixed(self, key: Key, mixed: int, dirty: bool = False):
+        """:meth:`access_line` with the key's deterministic mix supplied
+        by the caller (see :func:`mix_of`).
+
+        Only valid on a cache using default placement (``set_of=None``),
+        where the set index is exactly ``mixed & (num_sets - 1)`` —
+        identical to what :meth:`_index` derives, so hits, fills, LRU
+        transitions, and victims match :meth:`access_line` bit for bit.
+        The plan-driven replay path pre-resolves the mix once per
+        metadata key instead of paying a memo-dict probe per reference.
+        """
+        bucket = self._sets[mixed & self._set_mask]
         line = bucket.get(key)
         if line is not None:
             if dirty:

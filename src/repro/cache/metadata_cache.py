@@ -59,6 +59,10 @@ class MetadataCache:
         self.contains = inner.contains
         self.insert = inner.insert
         self.access_line = inner.access_line
+        # Valid because build_cache above uses default placement
+        # (set_of=None): the premixed set index is bit-identical to the
+        # one access_line derives (see SetAssociativeCache).
+        self.access_line_premixed = inner.access_line_premixed
         self.mark_dirty = inner.mark_dirty
         self.clean = inner.clean
         self.is_dirty = inner.is_dirty

@@ -23,7 +23,11 @@ Commands:
 the sweep grid out over a process pool; results are bit-identical to
 the serial run. ``sweep`` and ``perf`` accept ``--no-replay`` to
 bypass boundary-event compilation and re-walk the data side per
-protocol (see docs/PERFORMANCE.md); results are identical either way.
+protocol, and ``--no-plan`` to replay without the compiled metadata
+plan (see docs/PERFORMANCE.md); results are identical either way.
+``perf`` also appends each timing run's headline numbers to a JSONL
+trend log (``--history``, default ``BENCH_history.jsonl``) and prints
+the delta against the previous entry.
 
 ``perf`` and ``faults`` accept ``--run-dir DIR`` to journal every
 completed cell (crash-safe, resumable with ``--resume DIR``) and
@@ -94,6 +98,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         scatter_span_chunks=args.scatter_chunks,
         workers=args.workers,
         replay=not args.no_replay,
+        plan=not args.no_plan,
     )
     rows = [
         {"protocol": name, "normalized_cycles": value}
@@ -359,6 +364,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.bench.perf import (
+        format_history_delta,
         format_report,
         run_reference_bench,
         run_resilient_sweep,
@@ -376,6 +382,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
             accesses=args.accesses,
             policy=_policy_from_args(args),
             replay=not args.no_replay,
+            plan=not args.no_plan,
         )
         print(
             f"resilient sweep: {outcome['completed']}/{outcome['cells']} "
@@ -396,11 +403,17 @@ def cmd_perf(args: argparse.Namespace) -> int:
         output=Path(args.output) if args.output else None,
         include_uncached=not args.skip_uncached,
         include_replay=not args.no_replay,
+        include_plan=not args.no_plan,
         include_telemetry=not args.no_telemetry,
         rounds=args.rounds,
         metrics_out=Path(args.metrics_out) if args.metrics_out else None,
+        history=Path(args.history) if args.history else None,
     )
     print(format_report(report))
+    history = report.get("history")
+    if history is not None:
+        print(format_history_delta(report, history["previous"]))
+        print(f"appended {history['path']}")
     if args.output:
         print(f"wrote {args.output}")
     if args.metrics_out and not args.no_telemetry:
@@ -436,7 +449,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
         integrity_mode=args.integrity_mode,
         capture_cprofile=not args.no_cprofile,
         top=args.top,
-        replay=args.replay,
+        replay=args.replay or args.plan,
+        plan=args.plan,
     )
     print(format_profile(document, top=args.top))
     if args.output:
@@ -654,6 +668,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-walk the data side per protocol instead of compiling "
         "one boundary stream (results are identical either way)",
     )
+    sweep.add_argument(
+        "--no-plan",
+        action="store_true",
+        help="replay without the compiled metadata plan (results are "
+        "identical either way; only the wall-clock changes)",
+    )
     _add_telemetry_args(sweep)
     sweep.set_defaults(handler=cmd_sweep)
 
@@ -714,6 +734,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the boundary-replay leg (timing mode) or run the "
         "resilient sweep through the direct per-protocol path",
     )
+    perf.add_argument(
+        "--no-plan",
+        action="store_true",
+        help="skip the metadata-plan leg (timing mode) or run the "
+        "resilient sweep's replays without compiled plans",
+    )
+    perf.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        help="JSONL trend log appended after each timing run "
+        "('' to skip)",
+    )
     _add_resilience_args(perf)
     _add_telemetry_args(perf)
     perf.set_defaults(handler=cmd_perf)
@@ -749,6 +781,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="profile the compile-then-replay pipeline (splits out the "
         "boundary_compile phase) instead of the direct path",
+    )
+    prof.add_argument(
+        "--plan",
+        action="store_true",
+        help="profile the plan-driven replay (implies --replay; splits "
+        "out the boundary_plan phase)",
     )
     prof.add_argument(
         "--top", type=int, default=15, help="hotspot rows to keep/print"

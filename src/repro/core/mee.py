@@ -43,6 +43,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.cache.cache import CacheLine
 from repro.cache.metadata_cache import (
     MetadataCache,
     counter_key,
@@ -84,6 +85,63 @@ _HMAC_KEY_CACHE: Dict[int, tuple] = {}
 _NODE_KEY_CACHE: Dict[NodeId, tuple] = {}
 _PATH_CACHE: Dict[tuple, Dict[int, List[NodeId]]] = {}
 _PATH_KEY_CACHE: Dict[tuple, Dict[int, List[Tuple[NodeId, tuple]]]] = {}
+
+
+def _shape_of(geometry: TreeGeometry) -> tuple:
+    """The path-memo shape key (what distinguishes ancestor paths)."""
+    return (geometry.num_counter_blocks, geometry.arity, geometry.page_bytes)
+
+
+def shared_counter_key(counter_index: int) -> tuple:
+    """The process-wide interned ``("ctr", i)`` key tuple."""
+    key = _COUNTER_KEY_CACHE.get(counter_index)
+    if key is None:
+        key = counter_key(counter_index)
+        _COUNTER_KEY_CACHE[counter_index] = key
+    return key
+
+
+def shared_hmac_key(hmac_line: int) -> tuple:
+    """The process-wide interned ``("hmac", line)`` key tuple."""
+    key = _HMAC_KEY_CACHE.get(hmac_line)
+    if key is None:
+        key = hmac_key(hmac_line)
+        _HMAC_KEY_CACHE[hmac_line] = key
+    return key
+
+
+def shared_node_key(node: NodeId) -> tuple:
+    """The process-wide interned ``("node", level, i)`` key tuple."""
+    key = _NODE_KEY_CACHE.get(node)
+    if key is None:
+        key = node_key(node[0], node[1])
+        _NODE_KEY_CACHE[node] = key
+    return key
+
+
+def shared_ancestor_path(geometry: TreeGeometry, counter_index: int):
+    """The memoized ancestor chain — the *same list object* every
+    engine of this geometry shape resolves, so a plan built from it
+    hands protocols identical path data to the direct path's."""
+    memo = _PATH_CACHE.setdefault(_shape_of(geometry), {})
+    path = memo.get(counter_index)
+    if path is None:
+        path = geometry.ancestors_of_counter(counter_index)
+        memo[counter_index] = path
+    return path
+
+
+def shared_path_keys(geometry: TreeGeometry, counter_index: int):
+    """The memoized ``(node, key)`` ancestor pairs (see above)."""
+    memo = _PATH_KEY_CACHE.setdefault(_shape_of(geometry), {})
+    pairs = memo.get(counter_index)
+    if pairs is None:
+        pairs = [
+            (node, shared_node_key(node))
+            for node in shared_ancestor_path(geometry, counter_index)
+        ]
+        memo[counter_index] = pairs
+    return pairs
 
 
 def _region_of_key(key: tuple) -> MetadataRegion:
@@ -714,6 +772,7 @@ class MemoryEncryptionEngine:
         block_index: int,
         counter_index: int,
         data: Optional[bytes],
+        path: Optional[List[NodeId]] = None,
     ) -> None:
         block_bytes = self.config.security.block_bytes
         plaintext = data if data is not None else bytes(block_bytes)
@@ -726,13 +785,250 @@ class MemoryEncryptionEngine:
         if overflowed:
             self.stats.add("minor_overflows")
             self._reencrypt_page(counter_index, old_counter, counter)
-        self.tree.set_counter(counter_index, counter, persist=False)
+        self.tree.set_counter(counter_index, counter, persist=False, path=path)
         major, minor = counter.counter_for(offset)
         ciphertext = self.engine.encrypt(plaintext, block_base, major, minor)
         self.nvm.backend.write(MetadataRegion.DATA, block_index, ciphertext)
         self._volatile_hmacs[block_index] = data_mac(
             self.engine, ciphertext, block_base, major, minor
         )
+
+    # ------------------------------------------------------------------
+    # plan-driven replay (the sweep fast path, see repro.sim.plan)
+    # ------------------------------------------------------------------
+
+    def replay_plan_events(self, kinds, addrs, event_records) -> int:
+        """Drive the full read/write datapath from pre-resolved metadata
+        records; returns total cycles.
+
+        ``event_records[i]`` is the :mod:`repro.sim.plan` runtime record
+        for event ``i``: the interned counter/HMAC cache keys with their
+        premixed set indices, the ``(node, key, mix)`` ancestor triples,
+        and the shared ancestor-path list. Each iteration performs the
+        same cache transitions, NVM accesses, stat bumps, hooks, and
+        functional crypto as :meth:`read_block` / :meth:`write_block` in
+        the same order — only the per-event address decode, key-memo
+        probes, and set-index hashing are gone, because the plan
+        compiler resolved them once per (trace, geometry). Bit identity
+        with the direct path is enforced by ``tests/test_plan.py``
+        across the protocol lineup and both integrity modes.
+
+        The metadata-cache probe itself is inlined here rather than
+        going through :meth:`SetAssociativeCache.access_line_premixed`
+        — it is the single hottest operation of a sweep (several probes
+        per event, ~1M per reference grid), and the method-call frame
+        plus per-call attribute lookups dominate what remains after
+        planning. The inline body is a transcription of
+        ``access_line_premixed`` (same counters, same LRU transitions,
+        same victim semantics), valid because ``build_cache`` gives the
+        metadata cache default placement. A popped :class:`CacheLine`
+        doubles as the victim record — ``_fill_miss`` reads only
+        ``.key`` and ``.dirty``, which both classes carry.
+        """
+        # Hoists: everything the loop body touches, resolved once.
+        inner = self.mdcache._cache
+        sets = inner._sets
+        set_mask = inner._set_mask
+        assoc = inner.associativity
+        md_hits = inner._hits
+        md_misses = inner._misses
+        md_fills = inner._fills
+        md_evictions = inner._evictions
+        md_dirty_evictions = inner._dirty_evictions
+        line_cls = CacheLine
+        md_access = self._md_access
+        md_latency = self._md_latency
+        fill_miss = self._fill_miss
+        read_ctr = self._read_ctr
+        read_tree = self._read_tree
+        read_hmac = self._read_hmac
+        read_data = self._read_data
+        write_data = self._write_data
+        data_reads = self._ctr_data_reads
+        data_writes = self._ctr_data_writes
+        walk_cache = self._ctr_walk_cache
+        walk_register = self._ctr_walk_register
+        trusted = (
+            self.protocol.trusted_register_node if self._check_trusted else None
+        )
+        read_auth_hook = self._read_auth_hook
+        default_extent = self._default_extent
+        extent_of = self.protocol.path_update_extent
+        node_key_of = self._node_key
+        on_data_write = self.protocol.on_data_write
+        wpq = self._wpq
+        functional = self.functional
+        block_shift = self._block_shift
+        block_base_of = self.address_space.block_base
+        bump_and_store = self._functional_counter_bump_and_store
+        verify_and_decrypt = self._verify_and_decrypt
+        posted_cycles = self._posted_write_cycles
+        fenced_cycles = self.nvm.write_latency_cycles
+        probe = self.fault_probe
+
+        cycles = 0
+        for kind, addr, rec in zip(kinds, addrs, event_records):
+            ctr_key, ctr_mix, hkey, hmac_mix, triples, path, counter_index = rec
+            if kind == 0:  # EVENT_FILL: the read path
+                cycles += read_data()
+                data_reads.value += 1
+                # Counter line (clean reference).
+                bucket = sets[ctr_mix & set_mask]
+                line = bucket.get(ctr_key)
+                cycles += md_latency
+                if line is not None:
+                    bucket.move_to_end(ctr_key)
+                    md_hits.value += 1
+                else:
+                    md_misses.value += 1
+                    victim = None
+                    if len(bucket) >= assoc:
+                        victim = bucket.popitem(last=False)[1]
+                        md_evictions.value += 1
+                        if victim.dirty:
+                            md_dirty_evictions.value += 1
+                    bucket[ctr_key] = line_cls(ctr_key)
+                    md_fills.value += 1
+                    cycles += fill_miss(ctr_key, read_ctr, victim)
+                # BMT walk: climb until the first cached / trusted node.
+                for node, key, mix in triples:
+                    if trusted is not None and trusted(node, counter_index):
+                        walk_register.value += 1
+                        break
+                    bucket = sets[mix & set_mask]
+                    line = bucket.get(key)
+                    if line is not None:
+                        bucket.move_to_end(key)
+                        md_hits.value += 1
+                        cycles += md_latency
+                        walk_cache.value += 1
+                        break
+                    md_misses.value += 1
+                    victim = None
+                    if len(bucket) >= assoc:
+                        victim = bucket.popitem(last=False)[1]
+                        md_evictions.value += 1
+                        if victim.dirty:
+                            md_dirty_evictions.value += 1
+                    bucket[key] = line_cls(key)
+                    md_fills.value += 1
+                    cycles += md_latency + fill_miss(key, read_tree, victim)
+                # HMAC line (clean reference).
+                bucket = sets[hmac_mix & set_mask]
+                line = bucket.get(hkey)
+                cycles += md_latency
+                if line is not None:
+                    bucket.move_to_end(hkey)
+                    md_hits.value += 1
+                else:
+                    md_misses.value += 1
+                    victim = None
+                    if len(bucket) >= assoc:
+                        victim = bucket.popitem(last=False)[1]
+                        md_evictions.value += 1
+                        if victim.dirty:
+                            md_dirty_evictions.value += 1
+                    bucket[hkey] = line_cls(hkey)
+                    md_fills.value += 1
+                    cycles += fill_miss(hkey, read_hmac, victim)
+                if read_auth_hook is not None:
+                    cycles += read_auth_hook(counter_index)
+                if functional:
+                    verify_and_decrypt(addr, addr >> block_shift, counter_index)
+            else:  # EVENT_WRITEBACK (posted) / EVENT_PERSIST (fenced)
+                data_writes.value += 1
+                if probe is not None:
+                    probe.begin_group()
+                # Counter line (dirtying reference).
+                bucket = sets[ctr_mix & set_mask]
+                line = bucket.get(ctr_key)
+                cycles += md_latency
+                if line is not None:
+                    line.dirty = True
+                    bucket.move_to_end(ctr_key)
+                    md_hits.value += 1
+                else:
+                    md_misses.value += 1
+                    victim = None
+                    if len(bucket) >= assoc:
+                        victim = bucket.popitem(last=False)[1]
+                        md_evictions.value += 1
+                        if victim.dirty:
+                            md_dirty_evictions.value += 1
+                    bucket[ctr_key] = line_cls(ctr_key, True)
+                    md_fills.value += 1
+                    cycles += fill_miss(ctr_key, read_ctr, victim)
+                if functional:
+                    bump_and_store(
+                        addr,
+                        block_base_of(addr),
+                        addr >> block_shift,
+                        counter_index,
+                        None,
+                        path=path,
+                    )
+                # HMAC line (dirtying reference).
+                bucket = sets[hmac_mix & set_mask]
+                line = bucket.get(hkey)
+                cycles += md_latency
+                if line is not None:
+                    line.dirty = True
+                    bucket.move_to_end(hkey)
+                    md_hits.value += 1
+                else:
+                    md_misses.value += 1
+                    victim = None
+                    if len(bucket) >= assoc:
+                        victim = bucket.popitem(last=False)[1]
+                        md_evictions.value += 1
+                        if victim.dirty:
+                            md_dirty_evictions.value += 1
+                    bucket[hkey] = line_cls(hkey, True)
+                    md_fills.value += 1
+                    cycles += fill_miss(hkey, read_hmac, victim)
+                if default_extent:
+                    for node, key, mix in triples:
+                        bucket = sets[mix & set_mask]
+                        line = bucket.get(key)
+                        cycles += md_latency
+                        if line is not None:
+                            line.dirty = True
+                            bucket.move_to_end(key)
+                            md_hits.value += 1
+                            continue
+                        md_misses.value += 1
+                        victim = None
+                        if len(bucket) >= assoc:
+                            victim = bucket.popitem(last=False)[1]
+                            md_evictions.value += 1
+                            if victim.dirty:
+                                md_dirty_evictions.value += 1
+                        bucket[key] = line_cls(key, True)
+                        md_fills.value += 1
+                        cycles += fill_miss(key, read_tree, victim)
+                else:
+                    for node in extent_of(counter_index, path):
+                        key = node_key_of(node)
+                        result = md_access(key, True)
+                        cycles += md_latency
+                        if result is not True:
+                            cycles += fill_miss(key, read_tree, result)
+                write_data()
+                if kind == 2:
+                    cycles += fenced_cycles
+                    cycles += on_data_write(
+                        counter_index, addr >> block_shift, path, fenced=True
+                    )
+                else:
+                    cycles += posted_cycles
+                    cycles += on_data_write(
+                        counter_index, addr >> block_shift, path, fenced=False
+                    )
+                if wpq is not None:
+                    wpq.drain()
+                if probe is not None:
+                    probe.commit_group()
+        return cycles
 
     def _reencrypt_page(self, counter_index, old_counter, new_counter) -> None:
         """Minor-counter overflow: re-encrypt every stored block of the

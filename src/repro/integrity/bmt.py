@@ -228,7 +228,11 @@ class BonsaiMerkleTree:
     # ------------------------------------------------------------------
 
     def set_counter(
-        self, index: int, block: CounterBlock, persist: bool = False
+        self,
+        index: int,
+        block: CounterBlock,
+        persist: bool = False,
+        path: Optional[List[NodeId]] = None,
     ) -> None:
         """Install a new counter value and propagate the hash change.
 
@@ -236,12 +240,14 @@ class BonsaiMerkleTree:
         (as the metadata cache would hold it) and the on-chip root
         register updated atomically. ``persist`` additionally writes
         the counter line through to NVM — what leaf persistence does on
-        every data write.
+        every data write. ``path`` optionally supplies the pre-resolved
+        ancestor chain (plan-driven replays); it must equal
+        ``geometry.ancestors_of_counter(index)``.
         """
         self._volatile_counters[index] = block
         if persist:
             self.persist_counter(index)
-        self._update_path(index)
+        self._update_path(index, path)
 
     def persist_counter(self, index: int) -> None:
         """Write the current counter line through to NVM."""
@@ -262,7 +268,9 @@ class BonsaiMerkleTree:
         value = b"".join(slots)
         return value + bytes(NODE_BYTES - len(value))
 
-    def _update_path(self, counter_index: int) -> None:
+    def _update_path(
+        self, counter_index: int, path: Optional[List[NodeId]] = None
+    ) -> None:
         """Propagate a counter change along its ancestor path.
 
         Each parent gets *only the changed child's slot* spliced in —
@@ -274,10 +282,12 @@ class BonsaiMerkleTree:
         Lazy mode records the stale slot along the same path and defers
         every digest (and the root-register refresh) to materialization.
         """
+        if path is None:
+            path = self.geometry.ancestors_of_counter(counter_index)
         if self.lazy:
             lazy = self._lazy_slots
             child_index = counter_index
-            for node in self.geometry.ancestors_of_counter(counter_index):
+            for node in path:
                 slots = lazy.get(node)
                 if slots is None:
                     lazy[node] = {child_index}
@@ -288,7 +298,7 @@ class BonsaiMerkleTree:
             return
         child_bytes = self.current_counter(counter_index).encode()
         child_index = counter_index
-        for node in self.geometry.ancestors_of_counter(counter_index):
+        for node in path:
             parent = bytearray(self.current_node_bytes(node))
             slot = child_index % self.geometry.arity
             parent[slot * SLOT_BYTES : (slot + 1) * SLOT_BYTES] = (

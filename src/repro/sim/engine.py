@@ -175,6 +175,16 @@ def simulate_from_stream(
         else:  # EVENT_PERSIST
             cycles += write_block(addr, fenced=True)
 
+    return _assemble_stream_result(stream, machine, cycles)
+
+
+def _assemble_stream_result(
+    stream, machine: Machine, cycles: int
+) -> SimulationResult:
+    """Splice a replay's cycle total with the stream's captured
+    data-side fields into a result indistinguishable from a direct
+    run's (shared by the stream and plan drivers)."""
+    mee = machine.mee
     os_instructions = stream.os_instructions
     result = SimulationResult(
         workload=stream.name,
@@ -192,6 +202,40 @@ def simulate_from_stream(
     )
     record_simulation(result, mee, stream.llc_hits, stream.llc_misses)
     return result
+
+
+def simulate_from_plan(
+    stream, plan, machine: Machine, flush_llc_at_end: bool = False
+) -> SimulationResult:
+    """Drive ``machine``'s MEE/protocol layer from a compiled
+    :class:`~repro.sim.replay.BoundaryStream` *and* its
+    :class:`~repro.sim.plan.MetadataPlan`; returns the result.
+
+    The planned form of :func:`simulate_from_stream`: same events, same
+    order, but every per-event metadata address, cache key, set index,
+    and ancestor path arrives pre-resolved, so the hot loop (moved into
+    :meth:`~repro.core.mee.MemoryEncryptionEngine.replay_plan_events`)
+    does no address math, no key-memo probes, and no path walks.
+    Bit-identical to both the direct and the stream-replay paths —
+    ``plan`` must have been compiled from this ``stream`` under the
+    machine's metadata geometry (the plan-cache key in
+    :mod:`repro.workloads.registry` encodes that contract).
+    """
+    mee = machine.mee
+    llc_latency = machine.config.llc.access_latency_cycles
+
+    kinds = stream.kind
+    addrs = stream.addr
+    event_records = plan.event_records()
+    if not flush_llc_at_end:
+        limit = stream.main_events
+        kinds = kinds[:limit]
+        addrs = addrs[:limit]
+        event_records = event_records[:limit]
+
+    cycles = stream.think_total + stream.accesses * llc_latency
+    cycles += mee.replay_plan_events(kinds, addrs, event_records)
+    return _assemble_stream_result(stream, machine, cycles)
 
 
 # ----------------------------------------------------------------------

@@ -33,7 +33,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro import telemetry
 from repro.config import INTEGRITY_MODES, SystemConfig
 from repro.errors import ConfigValidationError
-from repro.sim.engine import simulate, simulate_from_stream
+from repro.sim.engine import simulate, simulate_from_plan, simulate_from_stream
 from repro.sim.machine import build_machine
 from repro.sim.results import SimulationResult
 from repro.util.rng import Seed
@@ -41,7 +41,9 @@ from repro.workloads.registry import (
     TraceSpec,
     boundary_stream_spec,
     materialize_boundary_stream,
+    materialize_metadata_plan,
     materialize_trace,
+    metadata_plan_spec,
     validate_trace_spec,
 )
 
@@ -71,6 +73,13 @@ class SweepCell:
     #: Bit-identical to the direct path; cells sharing a (trace,
     #: data-side geometry) then share one compiled stream per process.
     replay: bool = False
+    #: Replay through a compiled metadata plan (see repro.sim.plan):
+    #: per-event counter/HMAC/path addresses pre-resolved once per
+    #: (trace, geometry) and shared across protocols. Only effective
+    #: when ``replay`` is set; bit-identical either way, so this stays
+    #: on by default and exists to measure (bench) or bypass (--no-plan)
+    #: the fast path.
+    plan: bool = True
 
 
 def validate_cells(cells: Sequence[SweepCell]) -> None:
@@ -150,6 +159,26 @@ def precompile_streams(cells: Sequence[SweepCell], config: SystemConfig) -> int:
     return len(specs)
 
 
+def precompile_plans(cells: Sequence[SweepCell], config: SystemConfig) -> int:
+    """Warm the process-wide metadata-plan cache for every planned cell.
+
+    Same pool-parent discipline as :func:`precompile_streams` (and runs
+    the stream compile through the same caches if it has not happened
+    yet): fork workers inherit fully-warmed plans, runtime records
+    included. Returns the number of distinct plans now cached.
+    """
+    specs = set()
+    for cell in cells:
+        if not (cell.replay and cell.plan):
+            continue
+        spec = metadata_plan_spec(stream_spec_for(cell, config))
+        specs.add(spec)
+        materialize_metadata_plan(
+            spec, cell.config if cell.config is not None else config
+        )
+    return len(specs)
+
+
 def _run_cell_impl(cell: SweepCell, config: SystemConfig) -> SimulationResult:
     cell_config = cell.config if cell.config is not None else config
     machine = build_machine(
@@ -161,9 +190,13 @@ def _run_cell_impl(cell: SweepCell, config: SystemConfig) -> SimulationResult:
         integrity_mode=cell.integrity_mode,
     )
     if cell.replay:
-        stream = materialize_boundary_stream(
-            stream_spec_for(cell, config), cell_config
-        )
+        stream_spec = stream_spec_for(cell, config)
+        stream = materialize_boundary_stream(stream_spec, cell_config)
+        if cell.plan:
+            plan = materialize_metadata_plan(
+                metadata_plan_spec(stream_spec), cell_config
+            )
+            return simulate_from_plan(stream, plan, machine)
         return simulate_from_stream(stream, machine)
     trace = materialize_trace(cell.trace)
     return simulate(
@@ -286,11 +319,13 @@ class ParallelSweepRunner:
         cells = list(cells)
         validate_cells(cells)
         if self.workers > 1 and len(cells) > 1:
-            # Compile each distinct data side once in the parent so
-            # fork-started workers inherit the warm stream cache (a
-            # spawn pool recompiles per worker — still once per
-            # process, amortized over that worker's protocol cells).
+            # Compile each distinct data side — and each distinct
+            # metadata plan — once in the parent so fork-started
+            # workers inherit the warm caches (a spawn pool recompiles
+            # per worker — still once per process, amortized over that
+            # worker's protocol cells).
             precompile_streams(cells, config)
+            precompile_plans(cells, config)
         payloads = [(cell, config) for cell in cells]
         if not telemetry.enabled():
             return self.map(_pool_entry, payloads)

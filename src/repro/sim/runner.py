@@ -18,7 +18,7 @@ from typing import Dict, Iterable, Optional, Sequence, Union
 
 from repro import telemetry
 from repro.config import SystemConfig
-from repro.sim.engine import simulate, simulate_from_stream
+from repro.sim.engine import simulate, simulate_from_plan, simulate_from_stream
 from repro.sim.machine import build_machine
 from repro.sim.parallel import ParallelSweepRunner, SweepCell
 from repro.sim.results import SimulationResult, normalized_cycles
@@ -28,7 +28,9 @@ from repro.workloads.registry import (
     boundary_stream_spec,
     literal_spec,
     materialize_boundary_stream,
+    materialize_metadata_plan,
     materialize_trace,
+    metadata_plan_spec,
 )
 from repro.workloads.trace import Trace
 
@@ -48,6 +50,7 @@ def run_protocol_sweep(
     churn_interval: int = 16384,
     workers: int = 1,
     replay: bool = True,
+    plan: bool = True,
 ) -> Dict[str, SimulationResult]:
     """Run ``trace`` under each protocol on a fresh machine.
 
@@ -63,6 +66,13 @@ def run_protocol_sweep(
     bit-identical results, one LLC walk instead of ``len(protocols)``.
     ``replay=False`` keeps the direct path (the ``--no-replay`` escape
     hatch; fault campaigns never come through here at all).
+
+    With ``plan=True`` (the default) each replay additionally consumes
+    the stream's compiled metadata plan (:mod:`repro.sim.plan`):
+    per-event counter/HMAC/path addresses resolved once per (trace,
+    geometry) and shared across every protocol. Bit-identical again;
+    ``plan=False`` (``--no-plan``) falls back to stream replay with
+    per-event derivation. Ignored unless ``replay`` is on.
     """
     _validate_sweep(trace, protocols, churn_interval)
     label = trace.name if isinstance(trace, Trace) else trace.label()
@@ -76,6 +86,7 @@ def run_protocol_sweep(
             churn_interval=churn_interval,
             workers=workers,
             replay=replay,
+            plan=plan,
         )
 
 
@@ -88,6 +99,7 @@ def _run_protocol_sweep(
     churn_interval: int,
     workers: int,
     replay: bool,
+    plan: bool,
 ) -> Dict[str, SimulationResult]:
     if workers > 1:
         spec = trace if isinstance(trace, TraceSpec) else literal_spec(trace)
@@ -99,6 +111,7 @@ def _run_protocol_sweep(
                 scatter_span_chunks=scatter_span_chunks,
                 churn_interval=churn_interval,
                 replay=replay,
+                plan=plan,
             )
             for name in protocols
         ]
@@ -110,27 +123,31 @@ def _run_protocol_sweep(
         from repro.core.protocol import protocol_uses_modified_os
         from repro.sim.replay import compile_boundary_stream
 
-        # One compiled stream per OS variant present in the lineup
-        # (stock vs AMNT++-modified placement), shared by every
-        # protocol on that variant. TraceSpec sweeps go through the
-        # process-wide cache; raw traces compile sweep-locally.
+        # One compiled stream — and, with ``plan``, one metadata plan —
+        # per OS variant present in the lineup (stock vs AMNT++-modified
+        # placement), shared by every protocol on that variant.
+        # TraceSpec sweeps go through the process-wide caches; raw
+        # traces compile sweep-locally.
         streams: Dict[bool, object] = {}
+        plans: Dict[bool, object] = {}
         for name in protocols:
             modified = protocol_uses_modified_os(name)
             stream = streams.get(modified)
             if stream is None:
                 if isinstance(trace, TraceSpec):
-                    stream = materialize_boundary_stream(
-                        boundary_stream_spec(
-                            trace,
-                            config,
-                            seed=seed,
-                            churn_interval=churn_interval,
-                            scatter_span_chunks=scatter_span_chunks,
-                            modified_os=modified,
-                        ),
+                    stream_spec = boundary_stream_spec(
+                        trace,
                         config,
+                        seed=seed,
+                        churn_interval=churn_interval,
+                        scatter_span_chunks=scatter_span_chunks,
+                        modified_os=modified,
                     )
+                    stream = materialize_boundary_stream(stream_spec, config)
+                    if plan:
+                        plans[modified] = materialize_metadata_plan(
+                            metadata_plan_spec(stream_spec), config
+                        )
                 else:
                     stream = compile_boundary_stream(
                         trace,
@@ -140,6 +157,10 @@ def _run_protocol_sweep(
                         scatter_span_chunks=scatter_span_chunks,
                         modified_os=modified,
                     )
+                    if plan:
+                        from repro.sim.plan import compile_metadata_plan
+
+                        plans[modified] = compile_metadata_plan(stream, config)
                 streams[modified] = stream
             with telemetry.span(f"cell:{name}"):
                 machine = build_machine(
@@ -148,7 +169,14 @@ def _run_protocol_sweep(
                     seed=seed,
                     scatter_span_chunks=scatter_span_chunks,
                 )
-                results_by_name[name] = simulate_from_stream(stream, machine)
+                if plan:
+                    results_by_name[name] = simulate_from_plan(
+                        stream, plans[modified], machine
+                    )
+                else:
+                    results_by_name[name] = simulate_from_stream(
+                        stream, machine
+                    )
         return results_by_name
 
     materialized = (
@@ -206,6 +234,7 @@ def sweep_normalized(
     baseline: str = "volatile",
     workers: int = 1,
     replay: bool = True,
+    plan: bool = True,
 ) -> Dict[str, float]:
     """Normalized cycles (the paper's y-axis) for each protocol."""
     protocols = tuple(protocols)
@@ -219,6 +248,7 @@ def sweep_normalized(
         scatter_span_chunks=scatter_span_chunks,
         workers=workers,
         replay=replay,
+        plan=plan,
     )
     return normalized_cycles(results, baseline=baseline)
 

@@ -91,6 +91,59 @@ def atomic_write_json(
     return atomic_write_text(path, text)
 
 
+def atomic_append_jsonl(path: PathLike, record: Any) -> Path:
+    """Durably append one JSON record as a line of ``path``.
+
+    Appends cannot use the write-temp-rename recipe without rewriting
+    the whole file, so this uses the durable-append one instead: the
+    record is serialized to a single line, written with one ``write``
+    on an append-mode handle, and fsynced before returning. A crash can
+    leave at worst a torn *final* line — never corrupt earlier records
+    — which is why :func:`read_jsonl` skips an unparsable tail instead
+    of failing. A writer that finds such a tear (file not ending in a
+    newline) starts a fresh line first, so one crashed append never
+    swallows the record after it.
+    """
+    path = Path(path)
+    line = json.dumps(jsonable(record), separators=(",", ": ")) + "\n"
+    created = not path.exists()
+    if not created and path.stat().st_size > 0:
+        with open(path, "rb") as tail:
+            tail.seek(-1, os.SEEK_END)
+            if tail.read(1) != b"\n":
+                line = "\n" + line
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())
+    if created:
+        fsync_directory(path.parent if str(path.parent) else Path("."))
+    return path
+
+
+def read_jsonl(path: PathLike) -> list:
+    """All parsable records of a JSONL file, in order.
+
+    Tolerates the one corruption :func:`atomic_append_jsonl` can leave
+    behind — a torn final line — by skipping unparsable lines rather
+    than raising. A missing file reads as empty.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return records
+
+
 def jsonable(value: Any) -> Any:
     """Recursively reduce ``value`` to plain JSON builtins.
 

@@ -240,6 +240,7 @@ class _LRUCache:
 #: long-running campaigns cannot leak materialized traces.
 DEFAULT_TRACE_CACHE_LIMIT = 64
 DEFAULT_STREAM_CACHE_LIMIT = 32
+DEFAULT_PLAN_CACHE_LIMIT = 32
 
 #: Process-wide materialization cache. Workers forked from a warm
 #: parent inherit it; spawned workers fill their own on first use.
@@ -418,3 +419,77 @@ def set_stream_cache_limit(limit: int) -> None:
 
 def stream_cache_limit() -> int:
     return _STREAM_CACHE.limit
+
+
+# ----------------------------------------------------------------------
+# metadata-plan cache (resolve metadata addresses once, share per geometry)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class MetadataPlanSpec:
+    """Cache identity of one compiled metadata plan.
+
+    A plan is a pure function of the boundary stream it walks and the
+    metadata geometry — and every geometry field the plan reads
+    (block/page split, device capacity, tree arity) is already part of
+    the stream's identity, so the plan key *is* the stream key. That
+    encodes the sharing contract directly: any geometry change produces
+    a different stream spec and forces a plan recompile, while a
+    metadata-cache-only config change (capacity/ways/latency) maps to
+    the same spec and shares the cached plan.
+    """
+
+    stream: BoundaryStreamSpec
+
+
+def metadata_plan_spec(stream_spec: BoundaryStreamSpec) -> MetadataPlanSpec:
+    """The plan-cache key for a compiled stream's metadata plan."""
+    return MetadataPlanSpec(stream=stream_spec)
+
+
+#: Process-wide compiled-plan cache, disciplined like _STREAM_CACHE:
+#: workers forked from a warm parent inherit it (runtime records
+#: included — plans are warmed at compile time); spawned workers fill
+#: their own on first use. Values are immutable once compiled.
+_PLAN_CACHE = _LRUCache("plan_cache", DEFAULT_PLAN_CACHE_LIMIT)
+
+
+def materialize_metadata_plan(spec: MetadataPlanSpec, config, cache: bool = True):
+    """Compile (or fetch) the metadata plan ``spec`` describes.
+
+    ``config`` must be the config the stream spec was derived from,
+    exactly as for :func:`materialize_boundary_stream` (which this goes
+    through for the stream itself — one cache discipline end to end).
+    Plans are treated as immutable once compiled.
+    """
+    label = spec.stream.trace.label()
+    if cache:
+        plan = _PLAN_CACHE.get(spec, label)
+        if plan is not None:
+            return plan
+    from repro.sim.plan import compile_metadata_plan
+
+    stream = materialize_boundary_stream(spec.stream, config, cache=cache)
+    plan = compile_metadata_plan(stream, config)
+    if cache:
+        _PLAN_CACHE.put(spec, plan, label)
+    return plan
+
+
+def metadata_plan_cache_clear() -> None:
+    """Drop every compiled plan (tests, long-lived servers)."""
+    _PLAN_CACHE.clear()
+
+
+def metadata_plan_cache_size() -> int:
+    return len(_PLAN_CACHE)
+
+
+def set_plan_cache_limit(limit: int) -> None:
+    """Cap the plan cache at ``limit`` entries (evicts LRU overflow)."""
+    _PLAN_CACHE.set_limit(limit)
+
+
+def plan_cache_limit() -> int:
+    return _PLAN_CACHE.limit

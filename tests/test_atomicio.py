@@ -7,10 +7,12 @@ from dataclasses import dataclass
 import pytest
 
 from repro.util.atomicio import (
+    atomic_append_jsonl,
     atomic_write_json,
     atomic_write_text,
     fsync_directory,
     jsonable,
+    read_jsonl,
 )
 
 
@@ -91,6 +93,46 @@ class TestJsonable:
 
     def test_mapping_keys_coerced_to_strings(self):
         assert jsonable({1: "one"}) == {"1": "one"}
+
+
+class TestAppendJsonl:
+    def test_appends_one_line_per_record(self, tmp_path):
+        log = tmp_path / "trend.jsonl"
+        atomic_append_jsonl(log, {"run": 1})
+        atomic_append_jsonl(log, {"run": 2, "nested": {"a": [1, 2]}})
+        lines = log.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0]) == {"run": 1}
+        assert read_jsonl(log) == [
+            {"run": 1},
+            {"run": 2, "nested": {"a": [1, 2]}},
+        ]
+
+    def test_append_never_rewrites_earlier_records(self, tmp_path):
+        log = tmp_path / "trend.jsonl"
+        atomic_append_jsonl(log, {"run": 1})
+        before = log.read_text()
+        atomic_append_jsonl(log, {"run": 2})
+        assert log.read_text().startswith(before)
+
+    def test_read_skips_torn_trailing_line(self, tmp_path):
+        log = tmp_path / "trend.jsonl"
+        atomic_append_jsonl(log, {"run": 1})
+        with open(log, "a", encoding="utf-8") as handle:
+            handle.write('{"run": 2, "torn')  # crash mid-append
+        assert read_jsonl(log) == [{"run": 1}]
+        # The next writer notices the tear and starts a fresh line, so
+        # the crashed append costs one record, never two.
+        atomic_append_jsonl(log, {"run": 3})
+        assert read_jsonl(log) == [{"run": 1}, {"run": 3}]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_jsonl(tmp_path / "absent.jsonl") == []
+
+    def test_records_are_jsonable_reduced(self, tmp_path):
+        log = tmp_path / "trend.jsonl"
+        atomic_append_jsonl(log, {"pair": (1, 2)})
+        assert read_jsonl(log) == [{"pair": [1, 2]}]
 
 
 class TestFsyncDirectory:

@@ -27,6 +27,7 @@ class TestInterleavedLegs:
             "serial",
             "serial_telemetry",
             "serial_replay",
+            "serial_plan",
         }
         if report["legs"].get("parallel") == "measured":
             expected.add("parallel")
@@ -52,6 +53,12 @@ class TestInterleavedLegs:
         )
         assert report["speedups"]["replay_vs_serial"] == pytest.approx(
             timings["serial"] / timings["serial_replay"]
+        )
+        assert report["speedups"]["plan_vs_serial"] == pytest.approx(
+            timings["serial"] / timings["serial_plan"]
+        )
+        assert report["speedups"]["plan_vs_replay"] == pytest.approx(
+            timings["serial_replay"] / timings["serial_plan"]
         )
 
     def test_skip_uncached_drops_leg(self):
@@ -83,6 +90,22 @@ class TestInterleavedLegs:
         assert "serial_replay" not in report["samples_seconds"]
         assert report["speedups"]["replay_vs_serial"] is None
 
+    def test_skip_plan_drops_leg(self):
+        report = run_reference_bench(
+            workers=1,
+            benchmarks=("blackscholes",),
+            protocols=("leaf",),
+            accesses=300,
+            output=None,
+            include_uncached=False,
+            include_plan=False,
+            rounds=1,
+        )
+        assert report["timings_seconds"]["serial_plan"] is None
+        assert "serial_plan" not in report["samples_seconds"]
+        assert report["speedups"]["plan_vs_serial"] is None
+        assert report["speedups"]["plan_vs_replay"] is None
+
     def test_rounds_must_be_positive(self):
         with pytest.raises(ValueError):
             run_reference_bench(
@@ -97,6 +120,42 @@ class TestInterleavedLegs:
         text = format_report(report)
         assert "best of 2 interleaved round(s)" in text
         assert "samples:" in text
+
+    def test_history_appends_and_returns_previous(self, tmp_path):
+        from repro.bench.perf import format_history_delta
+        from repro.util.atomicio import read_jsonl
+
+        log = tmp_path / "BENCH_history.jsonl"
+        kwargs = dict(
+            workers=1,
+            benchmarks=("blackscholes",),
+            protocols=("leaf",),
+            accesses=300,
+            output=None,
+            include_uncached=False,
+            include_telemetry=False,
+            rounds=1,
+            history=log,
+        )
+        first = run_reference_bench(**kwargs)
+        assert first["history"]["previous"] is None
+        assert "first recorded run" in format_history_delta(
+            first, first["history"]["previous"]
+        )
+        second = run_reference_bench(**kwargs)
+        previous = second["history"]["previous"]
+        assert previous is not None
+        assert previous["timings_seconds"]["serial"] == pytest.approx(
+            first["timings_seconds"]["serial"], abs=1e-4
+        )
+        entries = read_jsonl(log)
+        assert len(entries) == 2
+        for entry in entries:
+            assert entry["recorded_at"]
+            assert entry["grid"]["cells"] == 1
+        delta = format_history_delta(second, previous)
+        assert "vs previous run" in delta
+        assert "serial" in delta
 
     def test_parallel_leg_honest_on_single_cpu(self, report):
         """A pool on one visible core measures fork overhead, not the

@@ -1,0 +1,359 @@
+"""Metadata-plan compilation: planned replay == direct simulation.
+
+The plan compiler (repro.sim.plan) resolves every metadata address a
+boundary stream will touch — counter line, HMAC line, BMT ancestor
+path, premixed cache-set indices — once per (trace, geometry). Its
+correctness claim is the same as the replay layer's one level up:
+*bit identity* with the direct path. These tests check that claim
+three ways: full-result equality across the protocol lineup, a
+randomized-geometry property test that recomputes every plan column
+from first principles, and cache-contract tests (geometry change
+recompiles; a metadata-cache-only change shares the plan).
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.cache.cache import build_cache, mix_of
+from repro.cache.metadata_cache import counter_key, hmac_key, node_key
+from repro.config import default_config
+from repro.core.mee import MACS_PER_LINE, MetadataRegion
+from repro.core.protocol import protocol_names, protocol_uses_modified_os
+from repro.integrity.geometry import TreeGeometry
+from repro.mem.address import AddressSpace
+from repro.sim.engine import simulate, simulate_from_plan, simulate_from_stream
+from repro.sim.machine import build_machine
+from repro.sim.parallel import (
+    ParallelSweepRunner,
+    SweepCell,
+    precompile_plans,
+    precompile_streams,
+    run_cell,
+    stream_spec_for,
+)
+from repro.sim.plan import MetadataPlan, compile_metadata_plan
+from repro.sim.replay import compile_boundary_stream
+from repro.sim.runner import run_protocol_sweep
+from repro.util.units import MB
+from repro.workloads.registry import (
+    boundary_stream_cache_clear,
+    materialize_boundary_stream,
+    materialize_metadata_plan,
+    materialize_trace,
+    metadata_plan_cache_clear,
+    metadata_plan_cache_size,
+    metadata_plan_spec,
+    profile_spec,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_caches():
+    boundary_stream_cache_clear()
+    metadata_plan_cache_clear()
+    yield
+    boundary_stream_cache_clear()
+    metadata_plan_cache_clear()
+
+
+def machine_tree_state(machine):
+    tree = machine.mee.tree
+    if tree is None:
+        return None
+    tree.materialize_all()
+    region = MetadataRegion.TREE
+    return (
+        tree.root_register,
+        {key: tree.backend.read(region, key) for key in tree.backend.keys(region)},
+    )
+
+
+class TestPlanBitIdentity:
+    """Every registered protocol, both BMT disciplines, real crypto:
+    the plan-driven replay must end in exactly the direct path's state
+    — timing result and persisted tree bytes alike."""
+
+    @pytest.mark.parametrize("integrity_mode", ["eager", "lazy"])
+    @pytest.mark.parametrize("protocol", protocol_names())
+    def test_plan_matches_direct(self, small_config, protocol, integrity_mode):
+        trace = materialize_trace(profile_spec("parsec", "blackscholes", 600, 7))
+        modified = protocol_uses_modified_os(protocol)
+
+        direct_machine = build_machine(
+            small_config, protocol, functional=True,
+            seed=7, integrity_mode=integrity_mode,
+        )
+        direct = simulate(direct_machine, trace, seed=7)
+
+        stream = compile_boundary_stream(
+            trace, small_config, seed=7, modified_os=modified
+        )
+        plan = compile_metadata_plan(stream, small_config)
+        plan_machine = build_machine(
+            small_config, protocol, functional=True,
+            seed=7, integrity_mode=integrity_mode,
+        )
+        planned = simulate_from_plan(stream, plan, plan_machine)
+
+        assert planned == direct
+        assert machine_tree_state(plan_machine) == machine_tree_state(
+            direct_machine
+        )
+
+    def test_plan_matches_stream_timing_only(self, small_config):
+        """Timing-only machines (no functional crypto) through both
+        replay flavours, including the pointer-chasing profile."""
+        trace = materialize_trace(profile_spec("parsec", "canneal", 800, 7))
+        stream = compile_boundary_stream(trace, small_config, seed=7)
+        plan = compile_metadata_plan(stream, small_config)
+        for protocol in ("volatile", "strict", "amnt"):
+            streamed = simulate_from_stream(
+                stream, build_machine(small_config, protocol, seed=7)
+            )
+            planned = simulate_from_plan(
+                stream, plan, build_machine(small_config, protocol, seed=7)
+            )
+            assert planned == streamed, protocol
+
+
+GEOMETRY_CHOICES = {
+    # (page_bytes, block_bytes) pairs; counters_per_block follows.
+    "page_block": [(4096, 64), (2048, 64), (1024, 32), (4096, 128)],
+    "arity": [4, 8, 16],
+    "capacity_mb": [16, 64, 256],
+}
+
+
+def _random_geometry_config(rng):
+    page_bytes, block_bytes = rng.choice(GEOMETRY_CHOICES["page_block"])
+    base = default_config(
+        capacity_bytes=rng.choice(GEOMETRY_CHOICES["capacity_mb"]) * MB
+    )
+    return replace(
+        base,
+        security=replace(
+            base.security,
+            block_bytes=block_bytes,
+            page_bytes=page_bytes,
+            counters_per_block=page_bytes // block_bytes,
+            tree_arity=rng.choice(GEOMETRY_CHOICES["arity"]),
+        ),
+    )
+
+
+class TestPlanContentsProperty:
+    """The property test: every plan column must equal the value
+    recomputed on the fly from the stream's addresses and the tree
+    geometry — across randomized line sizes, arities, counter ratios,
+    and footprints."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_plan_columns_match_recomputation(self, seed):
+        rng = random.Random(seed)
+        config = _random_geometry_config(rng)
+        accesses = rng.choice([300, 700, 1200])
+        trace = materialize_trace(
+            profile_spec("parsec", "bodytrack", accesses, seed)
+        )
+        stream = compile_boundary_stream(trace, config, seed=seed)
+        plan = compile_metadata_plan(stream, config)
+
+        geometry = TreeGeometry.from_config(config)
+        space = AddressSpace(
+            config.pcm.capacity_bytes,
+            block_bytes=config.security.block_bytes,
+            page_bytes=config.security.page_bytes,
+        )
+        block_shift = space._block_shift
+        page_shift = space._page_shift
+        arity = geometry.arity
+
+        assert len(plan) == len(stream.addr)
+        records = plan.event_records()
+        for i, addr in enumerate(stream.addr):
+            counter = addr >> page_shift
+            hline = (addr >> block_shift) // MACS_PER_LINE
+            assert plan.counter_line[i] == counter
+            assert plan.hmac_line[i] == hline
+            assert plan.leaf_slot[i] == counter % arity
+            expected_path = geometry.ancestors_of_counter(counter)
+            pool = plan.node_pool
+            planned_path = [
+                pool[n] for n in plan.path_node_ids(plan.path_id[i])
+            ]
+            assert planned_path == expected_path
+            ctr_key, ctr_mix, hkey, hmac_mix, triples, path, rec_counter = (
+                records[i]
+            )
+            assert rec_counter == counter
+            assert ctr_key == counter_key(counter)
+            assert ctr_mix == mix_of(ctr_key)
+            assert hkey == hmac_key(hline)
+            assert hmac_mix == mix_of(hkey)
+            assert path == expected_path
+            assert [t[0] for t in triples] == expected_path
+            for node, key, mix in triples:
+                assert key == node_key(*node)
+                assert mix == mix_of(key)
+
+    def test_sibling_counters_share_one_path_object(self, small_config):
+        trace = materialize_trace(profile_spec("parsec", "canneal", 2000, 7))
+        stream = compile_boundary_stream(trace, small_config, seed=7)
+        plan = compile_metadata_plan(stream, small_config)
+        records = plan.records()
+        by_head = {}
+        for rec in records:
+            path = rec[5]
+            head = path[0]
+            if head in by_head:
+                assert by_head[head] is path
+            else:
+                by_head[head] = path
+
+
+class TestPremixedAccess:
+    """access_line_premixed(key, mix_of(key)) must be a bit-identical
+    drop-in for access_line on a default-placement cache."""
+
+    def test_premixed_matches_access_line(self):
+        rng = random.Random(11)
+        keys = [counter_key(i) for i in range(64)] + [
+            node_key(level, i) for level in (1, 2, 3) for i in range(16)
+        ]
+        sequence = [
+            (rng.choice(keys), rng.random() < 0.3) for _ in range(4000)
+        ]
+        plain = build_cache(4096, 64, 4, name="plain")
+        premixed = build_cache(4096, 64, 4, name="premixed")
+        for key, dirty in sequence:
+            expected = plain.access_line(key, dirty)
+            actual = premixed.access_line_premixed(key, mix_of(key), dirty)
+            if expected is True or expected is None:
+                assert actual == expected
+            else:
+                assert (actual.key, actual.dirty) == (
+                    expected.key,
+                    expected.dirty,
+                )
+        for stat in ("hits", "misses", "fills", "evictions", "dirty_evictions"):
+            assert plain.stats.get(stat) == premixed.stats.get(stat)
+
+
+class TestPlanCache:
+    def test_same_spec_returns_same_object(self, small_config):
+        spec = metadata_plan_spec(
+            stream_spec_for(
+                SweepCell(
+                    protocol="strict",
+                    trace=profile_spec("parsec", "blackscholes", 400, 7),
+                    seed=7,
+                    replay=True,
+                ),
+                small_config,
+            )
+        )
+        first = materialize_metadata_plan(spec, small_config)
+        second = materialize_metadata_plan(spec, small_config)
+        assert isinstance(first, MetadataPlan)
+        assert first is second
+        assert metadata_plan_cache_size() == 1
+
+    def test_geometry_change_forces_recompile(self, small_config):
+        cell = SweepCell(
+            protocol="strict",
+            trace=profile_spec("parsec", "blackscholes", 400, 7),
+            seed=7,
+            replay=True,
+        )
+        bigger = default_config(
+            capacity_bytes=small_config.pcm.capacity_bytes * 4
+        )
+        base_spec = metadata_plan_spec(stream_spec_for(cell, small_config))
+        resized_spec = metadata_plan_spec(stream_spec_for(cell, bigger))
+        assert base_spec != resized_spec
+        first = materialize_metadata_plan(base_spec, small_config)
+        second = materialize_metadata_plan(resized_spec, bigger)
+        assert first is not second
+        assert metadata_plan_cache_size() == 2
+
+    def test_metadata_cache_change_shares_the_plan(self, small_config):
+        """A config differing only in metadata-cache capacity maps to
+        the same plan spec — the plan never depends on cache shape."""
+        cell = SweepCell(
+            protocol="strict",
+            trace=profile_spec("parsec", "blackscholes", 400, 7),
+            seed=7,
+            replay=True,
+        )
+        resized_cache = replace(
+            small_config,
+            metadata_cache=replace(
+                small_config.metadata_cache,
+                capacity_bytes=small_config.metadata_cache.capacity_bytes * 2,
+            ),
+        )
+        base_spec = metadata_plan_spec(stream_spec_for(cell, small_config))
+        other_spec = metadata_plan_spec(stream_spec_for(cell, resized_cache))
+        assert base_spec == other_spec
+        first = materialize_metadata_plan(base_spec, small_config)
+        second = materialize_metadata_plan(other_spec, resized_cache)
+        assert first is second
+        assert metadata_plan_cache_size() == 1
+
+    def test_precompile_counts_distinct_plans(self, small_config):
+        cells = [
+            SweepCell(
+                protocol=name,
+                trace=profile_spec("parsec", "blackscholes", 400, 7),
+                seed=7,
+                replay=True,
+            )
+            for name in ("volatile", "leaf", "amnt", "amnt++")
+        ]
+        precompile_streams(cells, small_config)
+        # Three stock-OS protocols share one plan; amnt++ gets its own.
+        assert precompile_plans(cells, small_config) == 2
+        assert metadata_plan_cache_size() == 2
+
+
+class TestSweepPaths:
+    def test_run_protocol_sweep_plan_matches_direct(self, small_config):
+        trace_spec = profile_spec("parsec", "bodytrack", 800, 7)
+        protocols = ("volatile", "strict", "amnt", "amnt++")
+        planned = run_protocol_sweep(trace_spec, small_config, protocols, seed=7)
+        unplanned = run_protocol_sweep(
+            trace_spec, small_config, protocols, seed=7, plan=False
+        )
+        direct = run_protocol_sweep(
+            trace_spec, small_config, protocols, seed=7, replay=False
+        )
+        assert planned == unplanned == direct
+
+    def test_parallel_plan_matches_serial_direct(self, small_config):
+        cells = [
+            SweepCell(
+                protocol=name,
+                trace=profile_spec("parsec", "bodytrack", 800, 7),
+                seed=7,
+                replay=True,
+            )
+            for name in ("volatile", "strict", "amnt")
+        ]
+        parallel = ParallelSweepRunner(workers=2).run(cells, small_config)
+        serial = [
+            run_cell(replace(cell, replay=False), small_config)
+            for cell in cells
+        ]
+        assert parallel == serial
+
+    def test_fault_campaigns_stay_unplanned(self):
+        """Fault cells go through drive_memory_boundary, never the
+        planned replay — the crash oracles need live per-access state."""
+        import inspect
+
+        from repro.faults import campaign
+
+        source = inspect.getsource(campaign)
+        assert "simulate_from_plan" not in source

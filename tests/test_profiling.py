@@ -86,6 +86,41 @@ class TestProfileRun:
         with pytest.raises(ConfigError):
             profile_run(integrity_mode="never")
 
+    def test_plan_run_measures_boundary_plan(self):
+        doc = profile_run(
+            benchmark="blackscholes",
+            protocol="leaf",
+            accesses=1500,
+            seed=11,
+            capture_cprofile=False,
+            replay=True,
+            plan=True,
+        )
+        assert validate_profile_document(doc) == []
+        assert doc["run"]["replay"] is True
+        assert doc["run"]["plan"] is True
+        assert doc["phases"]["boundary_compile"] > 0.0
+        assert doc["phases"]["boundary_plan"] > 0.0
+        # The planned replay produces the same result as the direct run.
+        direct = profile_run(
+            benchmark="blackscholes",
+            protocol="leaf",
+            accesses=1500,
+            seed=11,
+            capture_cprofile=False,
+        )
+        assert doc["result"] == direct["result"]
+
+    def test_plan_requires_replay(self):
+        with pytest.raises(ValueError):
+            profile_run(
+                benchmark="blackscholes",
+                protocol="leaf",
+                accesses=100,
+                capture_cprofile=False,
+                plan=True,
+            )
+
 
 class TestValidator:
     def test_rejects_non_object(self):

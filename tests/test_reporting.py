@@ -1,6 +1,11 @@
 """Plain-text table rendering for the benchmark harness."""
 
-from repro.bench.reporting import format_series, format_table
+from repro.bench.reporting import (
+    derive_hit_ratios,
+    format_metrics,
+    format_series,
+    format_table,
+)
 
 
 class TestFormatTable:
@@ -34,6 +39,44 @@ class TestFormatTable:
     def test_precision(self):
         text = format_table([{"x": 1.23456}], precision=1)
         assert "1.2" in text and "1.23" not in text
+
+
+class TestDerivedHitRatios:
+    def test_pairs_become_ratio_rows(self):
+        counters = {
+            "trace_cache.hits": 3,
+            "trace_cache.misses": 1,
+            "plan_cache.hits": 0,
+            "plan_cache.misses": 2,
+            "stream_cache.hits": 5,  # no .misses twin -> no ratio
+            "events.total": 9,
+        }
+        ratios = derive_hit_ratios(counters)
+        assert ratios == {
+            "trace_cache.hit_ratio": 0.75,
+            "plan_cache.hit_ratio": 0.0,
+        }
+
+    def test_idle_pairs_are_omitted(self):
+        assert derive_hit_ratios({"c.hits": 0, "c.misses": 0}) == {}
+
+    def test_format_metrics_renders_ratio_table(self):
+        document = {
+            "metrics": {
+                "counters": {
+                    "plan_cache.hits": 9,
+                    "plan_cache.misses": 3,
+                }
+            }
+        }
+        text = format_metrics(document, source="run")
+        assert "derived hit ratios" in text
+        assert "plan_cache.hit_ratio" in text
+        assert "0.750" in text
+
+    def test_format_metrics_without_pairs_has_no_ratio_table(self):
+        document = {"metrics": {"counters": {"events.total": 4}}}
+        assert "derived hit ratios" not in format_metrics(document)
 
 
 class TestFormatSeries:
