@@ -180,6 +180,49 @@ def _time_serial_plan(
     return elapsed
 
 
+def _time_store_cold(
+    cells: Sequence[SweepCell], config: SystemConfig, holder: Dict[str, object]
+) -> float:
+    """Serial run through a *fresh* result store: every cell misses,
+    computes, and is written back. The delta against ``serial`` prices
+    the store's write path; the populated store is left in ``holder``
+    for the warm leg of the same round, so warm always replays exactly
+    what cold just computed."""
+    import shutil
+    import tempfile
+
+    from repro.store import ResultStore
+
+    previous = holder.get("dir")
+    if previous:
+        shutil.rmtree(previous, ignore_errors=True)
+    holder["dir"] = tempfile.mkdtemp(prefix="repro-store-bench-")
+    store = ResultStore(holder["dir"])
+    trace_cache_clear()
+    start = time.perf_counter()
+    ParallelSweepRunner(workers=1).run(cells, config, store=store)
+    elapsed = time.perf_counter() - start
+    holder["cold_session"] = dict(store.session)
+    return elapsed
+
+
+def _time_warm_sweep(
+    cells: Sequence[SweepCell], config: SystemConfig, holder: Dict[str, object]
+) -> float:
+    """The same grid against the store the cold leg just populated:
+    every cell is a hit, no machine is ever built. ``warm_vs_cold`` is
+    the headline number of the incremental path — what a re-run of an
+    already-computed grid costs."""
+    from repro.store import ResultStore
+
+    store = ResultStore(holder["dir"])
+    start = time.perf_counter()
+    ParallelSweepRunner(workers=1).run(cells, config, store=store)
+    elapsed = time.perf_counter() - start
+    holder["warm_session"] = dict(store.session)
+    return elapsed
+
+
 def _time_parallel(
     cells: Sequence[SweepCell], config: SystemConfig, workers: int
 ) -> float:
@@ -218,6 +261,7 @@ def run_reference_bench(
     include_replay: bool = True,
     include_plan: bool = True,
     include_telemetry: bool = True,
+    include_store: bool = True,
     rounds: int = REFERENCE_ROUNDS,
     metrics_out: Optional[Path] = None,
     history: Optional[Path] = None,
@@ -283,6 +327,23 @@ def run_reference_bench(
         legs.append(
             ("serial_plan", lambda: _time_serial_plan(cells, config))
         )
+    # The store legs use a throwaway temp directory per round, never a
+    # user-facing store: cold must genuinely compute every cell, and
+    # warm must replay exactly what that round's cold leg wrote.
+    store_holder: Dict[str, object] = {}
+    if include_store:
+        legs.append(
+            (
+                "store_cold",
+                lambda: _time_store_cold(cells, config, store_holder),
+            )
+        )
+        legs.append(
+            (
+                "warm_sweep",
+                lambda: _time_warm_sweep(cells, config, store_holder),
+            )
+        )
     if run_parallel:
         legs.append(
             ("parallel", lambda: _time_parallel(cells, config, workers))
@@ -299,6 +360,10 @@ def run_reference_bench(
                 samples[name].append(leg())
     finally:
         telemetry.set_enabled(telemetry_was_enabled)
+        if store_holder.get("dir"):
+            import shutil
+
+            shutil.rmtree(store_holder["dir"], ignore_errors=True)
 
     serial_uncached = (
         min(samples["serial_uncached"]) if include_uncached else None
@@ -309,6 +374,8 @@ def run_reference_bench(
     )
     serial_replay = min(samples["serial_replay"]) if include_replay else None
     serial_plan = min(samples["serial_plan"]) if include_plan else None
+    store_cold = min(samples["store_cold"]) if include_store else None
+    warm_sweep = min(samples["warm_sweep"]) if include_store else None
     parallel_seconds = min(samples["parallel"]) if run_parallel else None
 
     leg_status = {name: "measured" for name, _ in legs}
@@ -340,6 +407,8 @@ def run_reference_bench(
             "serial_telemetry": serial_telemetry,
             "serial_replay": serial_replay,
             "serial_plan": serial_plan,
+            "store_cold": store_cold,
+            "warm_sweep": warm_sweep,
             "parallel": parallel_seconds,
         },
         "samples_seconds": {
@@ -369,6 +438,13 @@ def run_reference_bench(
                 and serial_plan > 0
                 else None
             ),
+            "warm_vs_cold": (
+                store_cold / warm_sweep
+                if store_cold is not None
+                and warm_sweep is not None
+                and warm_sweep > 0
+                else None
+            ),
             "parallel_vs_serial": (
                 serial_seconds / parallel_seconds
                 if parallel_seconds is not None and parallel_seconds > 0
@@ -386,6 +462,11 @@ def run_reference_bench(
             ),
         },
     }
+    if include_store:
+        report["store"] = {
+            "cold_session": store_holder.get("cold_session"),
+            "warm_session": store_holder.get("warm_session"),
+        }
     if include_telemetry:
         overhead_ratio = (
             serial_telemetry / serial_seconds
@@ -445,6 +526,7 @@ def run_resilient_sweep(
     policy: Optional[SupervisionPolicy] = None,
     replay: bool = True,
     plan: bool = True,
+    store=None,
 ) -> Dict[str, object]:
     """Run the reference grid under supervision, journaled in ``run_dir``.
 
@@ -464,6 +546,14 @@ def run_resilient_sweep(
     not encode the execution strategy). ``replay=False`` is the
     ``--no-replay`` escape hatch; ``plan=False`` keeps replay but
     skips metadata-plan compilation (``--no-plan``).
+
+    With a :class:`~repro.store.ResultStore` as ``store``, the journal
+    and the store *compose*: cells already in the store are recorded
+    into the journal as done (zero attempts) before the supervised run,
+    so only genuinely new cells execute; cells the run computes — and
+    cells found done in a resumed journal — are written back to the
+    store afterwards. Cold, warm, and resumed runs all export the same
+    bit-identical ``SWEEP_results.json``.
     """
     from repro.bench.export import export_experiment
 
@@ -487,6 +577,27 @@ def run_resilient_sweep(
     }
     manifest = build_manifest("resilient-sweep", config, keys, parameters)
     journal = RunJournal.open(run_dir, manifest, resume=resume)
+    fingerprints: List[str] = []
+    if store is not None:
+        from repro.store.fingerprint import cell_fingerprint
+
+        fingerprints = [cell_fingerprint(cell, config) for cell in cells]
+        # Pre-seed the journal from the store: a warm cell becomes a
+        # "done" journal entry with zero attempts, and the supervised
+        # runner then skips it exactly as it skips resumed cells. The
+        # store payload is the same codec the journal itself uses, so
+        # warm, resumed, and cold runs are indistinguishable downstream.
+        seeded = 0
+        for key, fingerprint in zip(keys, fingerprints):
+            entry = journal.entry(key)
+            if entry is not None and entry.get("status") == "done":
+                continue
+            hit = store.get(fingerprint)
+            if hit is not None:
+                journal.record_done(key, hit.to_json_dict(), attempts=0)
+                seeded += 1
+        if seeded:
+            journal.flush()
     runner = SupervisedRunner(workers=workers, policy=policy, journal=journal)
     outcomes = runner.map(
         _pool_entry,
@@ -496,6 +607,22 @@ def run_resilient_sweep(
         decode=SimulationResult.from_json_dict,
     )
     results, failures = split_outcomes(outcomes)
+    if store is not None:
+        # Write back everything the run now knows: freshly computed
+        # cells AND cells recovered from a resumed journal — so a
+        # journal-only run backfills the store for the next one.
+        for cell, fingerprint, outcome in zip(cells, fingerprints, outcomes):
+            if isinstance(outcome, CellFailure):
+                continue
+            if not store.contains(fingerprint):
+                store.put(
+                    fingerprint,
+                    outcome,
+                    meta={
+                        "protocol": cell.protocol,
+                        "workload": cell.trace.label(),
+                    },
+                )
     records = []
     for key, outcome in zip(keys, outcomes):
         if isinstance(outcome, CellFailure):
@@ -629,6 +756,10 @@ def format_report(report: Dict[str, object]) -> str:
         lines.append(leg_line("serial, boundary replay", "serial_replay"))
     if timings.get("serial_plan") is not None:
         lines.append(leg_line("serial, metadata plan  ", "serial_plan"))
+    if timings.get("store_cold") is not None:
+        lines.append(leg_line("store, cold (compute)  ", "store_cold"))
+    if timings.get("warm_sweep") is not None:
+        lines.append(leg_line("store, warm (replay)   ", "warm_sweep"))
     if timings.get("parallel") is not None:
         lines.append(leg_line("parallel               ", "parallel"))
     elif leg_status.get("parallel") == "skipped_single_cpu":
@@ -649,6 +780,10 @@ def format_report(report: Dict[str, object]) -> str:
     if speedups.get("plan_vs_replay") is not None:
         lines.append(
             f"plan vs replay         : {speedups['plan_vs_replay']:8.2f}x"
+        )
+    if speedups.get("warm_vs_cold") is not None:
+        lines.append(
+            f"warm-store speedup     : {speedups['warm_vs_cold']:8.2f}x"
         )
     if speedups["parallel_vs_serial"] is not None:
         lines.append(

@@ -56,6 +56,7 @@ from repro.sim.parallel import default_workers
 from repro.util.atomicio import atomic_write_json
 from repro.workloads.registry import (
     TraceSpec,
+    effective_cache_limits,
     materialize_trace,
     profile_spec,
     trace_cache_clear,
@@ -65,8 +66,10 @@ from repro.workloads.registry import (
 #: layout changes so downstream readers can dispatch. v2 added the
 #: ``boundary_compile`` phase and the ``run.replay`` flag; v3 added
 #: ``boundary_plan`` (metadata-plan compilation, ``plan=True`` runs
-#: only) and the ``run.plan`` flag.
-PROFILE_SCHEMA = "repro.profile/v3"
+#: only) and the ``run.plan`` flag; v4 added
+#: ``environment.cache_limits`` (the effective trace/stream/plan LRU
+#: bounds, settable via ``--cache-limit`` / ``$REPRO_CACHE_LIMIT``).
+PROFILE_SCHEMA = "repro.profile/v4"
 
 #: Phases with directly measured timers (``engine_other`` and ``total``
 #: are derived). Order is the pipeline order, used for display.
@@ -326,6 +329,10 @@ def profile_run(
             "platform": platform.platform(),
             "visible_cpus": default_workers(),
             "workers": 1,
+            # Effective LRU bounds (trace/stream/plan) — so a profile
+            # captured under --cache-limit / $REPRO_CACHE_LIMIT says so
+            # (a shrunken cache shifts time into re-materialization).
+            "cache_limits": effective_cache_limits(),
         },
         "phases": phases,
         "phase_fractions": fractions,
@@ -345,7 +352,7 @@ def write_profile_artifact(document: Dict[str, Any], path) -> Path:
 
 
 def validate_profile_document(document: Any) -> List[str]:
-    """Check a profile artifact against the v3 schema.
+    """Check a profile artifact against the v4 schema.
 
     Returns a list of human-readable problems; an empty list means the
     document is valid. Used by the CI smoke job and the test suite, and
@@ -385,9 +392,17 @@ def validate_profile_document(document: Any) -> List[str]:
             ("platform", str),
             ("visible_cpus", int),
             ("workers", int),
+            ("cache_limits", dict),
         ):
             if not isinstance(environment.get(key), kinds):
                 problems.append(f"environment.{key} missing or mistyped")
+        cache_limits = environment.get("cache_limits")
+        if isinstance(cache_limits, dict):
+            for cache in ("trace", "stream", "plan"):
+                if not isinstance(cache_limits.get(cache), int):
+                    problems.append(
+                        f"environment.cache_limits.{cache} missing or mistyped"
+                    )
 
     phases = document.get("phases")
     if not isinstance(phases, dict):

@@ -16,6 +16,10 @@ Commands:
 * ``area-table`` — print Table 3;
 * ``recovery-table`` — print Table 4;
 * ``protocols`` — list registered protocols;
+* ``store`` — inspect/maintain the content-addressed result store
+  (``stats``/``verify``/``gc``/``ls``, see docs/STORE.md);
+* ``history`` — render ``BENCH_history.jsonl`` as per-leg trend tables
+  (delta + speedup vs the previous recorded run);
 * ``metrics`` — print a ``repro.metrics/v1`` document (from
   ``--metrics-out``) as snapshot tables or Prometheus text.
 
@@ -40,6 +44,14 @@ runs additionally write lifecycle events to ``<run-dir>/events.jsonl``.
 ``repro.metrics/v1`` document) and ``--no-telemetry`` (disable
 collection; results are bit-identical either way) — see
 docs/OBSERVABILITY.md.
+
+``sweep`` and ``perf`` accept ``--store-dir DIR`` (or
+``$REPRO_STORE_DIR``) to reuse cells already computed under identical
+inputs through the content-addressed result store, and ``--no-store``
+to force it off; fault campaigns never consult the store (they mutate
+machine state mid-run). ``sweep``, ``perf``, and ``profile`` accept
+``--cache-limit N`` (or ``$REPRO_CACHE_LIMIT``) to cap the
+trace/stream/plan materialization caches — see docs/STORE.md.
 
 Everything the CLI does is a thin wrapper over the public API, so the
 printed numbers are identical to what the pytest benchmark harness
@@ -82,6 +94,8 @@ def _profile_for(name: str):
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     _telemetry_begin(args)
+    _apply_cache_limit(args)
+    store = _resolve_store(args)
     config = default_config(subtree_level=args.subtree_level)
     if args.benchmark in PARSEC_PROFILES:
         trace = profile_spec("parsec", args.benchmark, args.accesses, args.seed)
@@ -99,6 +113,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         replay=not args.no_replay,
         plan=not args.no_plan,
+        store=store,
     )
     rows = [
         {"protocol": name, "normalized_cycles": value}
@@ -111,6 +126,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"subtree level {args.subtree_level})",
         )
     )
+    if store is not None:
+        session = store.session
+        print(
+            f"store: {session['hits']} hit(s), {session['misses']} miss(es), "
+            f"{session['puts']} put(s) in {store.directory}"
+        )
     _telemetry_end(args, "sweep")
     return 0
 
@@ -290,6 +311,55 @@ def _install_run_events(run_dir) -> None:
     telemetry.install_sink(Path(run_dir) / "events.jsonl")
 
 
+def _add_store_args(parser: argparse.ArgumentParser) -> None:
+    """Shared result-store flags for sweep-running commands."""
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result store: reuse cells already "
+        "computed under identical inputs, write back the rest "
+        "(default: $REPRO_STORE_DIR if set, else off)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="ignore --store-dir and $REPRO_STORE_DIR for this run",
+    )
+
+
+def _resolve_store(args: argparse.Namespace):
+    """The ResultStore the flags ask for, or ``None`` (store off)."""
+    from repro.store import ResultStore, resolve_store_dir
+
+    directory = resolve_store_dir(
+        getattr(args, "store_dir", None), getattr(args, "no_store", False)
+    )
+    return ResultStore(directory) if directory is not None else None
+
+
+def _add_cache_limit_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the trace/stream/plan materialization caches at N "
+        "entries each (default: $REPRO_CACHE_LIMIT if set, else 64/32/32)",
+    )
+
+
+def _apply_cache_limit(args: argparse.Namespace) -> None:
+    limit = getattr(args, "cache_limit", None)
+    if limit is None:
+        return
+    if limit < 1:
+        raise SystemExit(f"--cache-limit must be >= 1, got {limit}")
+    from repro.workloads.registry import apply_cache_limit
+
+    apply_cache_limit(limit)
+
+
 def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
     """Shared supervision/journal flags for long-running commands."""
     parser.add_argument(
@@ -371,9 +441,11 @@ def cmd_perf(args: argparse.Namespace) -> int:
     )
 
     _telemetry_begin(args)
+    _apply_cache_limit(args)
     run_dir, resume = _resolve_run_dir(args)
     if run_dir:
         _install_run_events(run_dir)
+        store = _resolve_store(args)
         outcome = run_resilient_sweep(
             Path(run_dir),
             resume=resume,
@@ -383,7 +455,15 @@ def cmd_perf(args: argparse.Namespace) -> int:
             policy=_policy_from_args(args),
             replay=not args.no_replay,
             plan=not args.no_plan,
+            store=store,
         )
+        if store is not None:
+            session = store.session
+            print(
+                f"store: {session['hits']} hit(s), "
+                f"{session['misses']} miss(es), {session['puts']} put(s) "
+                f"in {store.directory}"
+            )
         print(
             f"resilient sweep: {outcome['completed']}/{outcome['cells']} "
             f"cells completed, {len(outcome['failures'])} quarantined"
@@ -405,6 +485,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
         include_replay=not args.no_replay,
         include_plan=not args.no_plan,
         include_telemetry=not args.no_telemetry,
+        include_store=not args.no_store,
         rounds=args.rounds,
         metrics_out=Path(args.metrics_out) if args.metrics_out else None,
         history=Path(args.history) if args.history else None,
@@ -432,6 +513,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from repro.workloads.spec import SPEC_PROFILES as _SPEC
 
     _telemetry_begin(args)
+    _apply_cache_limit(args)
     if args.benchmark in PARSEC_PROFILES:
         suite = "parsec"
     elif args.benchmark in _SPEC:
@@ -606,6 +688,126 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def cmd_store(args: argparse.Namespace) -> int:
+    """Inspect and maintain a content-addressed result store."""
+    from repro.store import ResultStore, resolve_store_dir
+
+    directory = resolve_store_dir(args.store_dir)
+    if directory is None:
+        raise SystemExit(
+            "no store directory: pass --store-dir or set $REPRO_STORE_DIR"
+        )
+    store = ResultStore(directory)
+
+    if args.action == "stats":
+        stats = store.stats()
+        rows = [
+            {"property": "objects", "value": stats["objects"]},
+            {"property": "bytes", "value": stats["bytes"]},
+            {"property": "index entries", "value": stats["index_entries"]},
+        ]
+        print(
+            format_table(
+                rows, title=f"result store — {stats['directory']}", precision=0
+            )
+        )
+        return EXIT_OK
+
+    if args.action == "verify":
+        report = store.verify()
+        print(
+            f"verified {report['checked']} object(s): {report['ok']} ok, "
+            f"{len(report['corrupt'])} corrupt"
+        )
+        for item in report["corrupt"]:
+            print(
+                f"CORRUPT: {item['fingerprint']} — {item['problem']}",
+                file=sys.stderr,
+            )
+        return EXIT_INTEGRITY if report["corrupt"] else EXIT_OK
+
+    if args.action == "gc":
+        max_age = (
+            args.max_age_days * 86400.0
+            if args.max_age_days is not None
+            else None
+        )
+        report = store.gc(max_age_seconds=max_age, max_objects=args.max_objects)
+        print(
+            f"gc: removed {report['removed']} object(s), "
+            f"kept {report['kept']} "
+            f"({report['index_entries']} index entries)"
+        )
+        return EXIT_OK
+
+    if args.action == "ls":
+        rows = [
+            {
+                "fingerprint": entry.get("fingerprint", "")[:16],
+                "protocol": entry.get("protocol", "?"),
+                "workload": entry.get("workload", "?"),
+                "created_at": entry.get("created_at", "?"),
+            }
+            for entry in store.ls(limit=args.limit)
+        ]
+        if not rows:
+            print(f"store at {store.directory} is empty")
+            return EXIT_OK
+        print(format_table(rows, title=f"result store — {store.directory}"))
+        return EXIT_OK
+
+    raise SystemExit(f"unknown store action {args.action!r}")
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    """Render the BENCH_history.jsonl trend log as per-leg tables."""
+    from pathlib import Path
+
+    from repro.util.atomicio import read_jsonl
+
+    path = Path(args.path)
+    entries = read_jsonl(path)
+    if not entries:
+        raise SystemExit(
+            f"no history at {path} — produce entries with `repro perf`"
+        )
+    if args.last is not None and args.last >= 1:
+        entries = entries[-args.last :]
+    latest = entries[-1]
+    previous = entries[-2] if len(entries) > 1 else None
+
+    def block(kind: str, unit: str, better_when_lower: bool) -> List[dict]:
+        rows = []
+        current = latest.get(kind) or {}
+        prior = (previous or {}).get(kind) or {}
+        for leg, value in current.items():
+            if value is None:
+                continue
+            row = {"leg": leg, f"latest_{unit}": value}
+            before = prior.get(leg)
+            if before is not None and before > 0:
+                row[f"previous_{unit}"] = before
+                row["delta_pct"] = (value - before) / before * 100.0
+                row["speedup_vs_prev"] = (
+                    before / value if better_when_lower else value / before
+                )
+            rows.append(row)
+        return rows
+
+    print(
+        f"{len(entries)} recorded run(s) in {path}; "
+        f"latest {latest.get('recorded_at')}"
+        + (f", previous {previous.get('recorded_at')}" if previous else "")
+    )
+    timing_rows = block("timings_seconds", "s", better_when_lower=True)
+    if timing_rows:
+        print(format_table(timing_rows, title="leg timings", precision=3))
+    speedup_rows = block("speedups", "x", better_when_lower=False)
+    if speedup_rows:
+        print(format_table(speedup_rows, title="derived speedups", precision=3))
+    return EXIT_OK
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Print a ``repro.metrics/v1`` document as snapshot tables."""
     import json
@@ -674,6 +876,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay without the compiled metadata plan (results are "
         "identical either way; only the wall-clock changes)",
     )
+    _add_store_args(sweep)
+    _add_cache_limit_arg(sweep)
     _add_telemetry_args(sweep)
     sweep.set_defaults(handler=cmd_sweep)
 
@@ -746,6 +950,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSONL trend log appended after each timing run "
         "('' to skip)",
     )
+    _add_store_args(perf)
+    _add_cache_limit_arg(perf)
     _add_resilience_args(perf)
     _add_telemetry_args(perf)
     perf.set_defaults(handler=cmd_perf)
@@ -796,6 +1002,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="PROFILE_run.json",
         help="artifact path ('' to skip writing)",
     )
+    _add_cache_limit_arg(prof)
     _add_telemetry_args(prof)
     prof.set_defaults(handler=cmd_profile)
 
@@ -908,6 +1115,61 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_args(faults)
     _add_telemetry_args(faults)
     faults.set_defaults(handler=cmd_faults)
+
+    store = commands.add_parser(
+        "store",
+        help="inspect/maintain the content-addressed result store",
+    )
+    store.add_argument(
+        "action",
+        choices=["stats", "verify", "gc", "ls"],
+        help="stats: totals; verify: re-hash every object; "
+        "gc: expire by age/count; ls: catalog entries",
+    )
+    store.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="store directory (default: $REPRO_STORE_DIR)",
+    )
+    store.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="gc: remove objects older than this many days",
+    )
+    store.add_argument(
+        "--max-objects",
+        type=int,
+        default=None,
+        help="gc: keep at most this many (newest) objects",
+    )
+    store.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="ls: show at most this many entries (newest first)",
+    )
+    store.set_defaults(handler=cmd_store)
+
+    history = commands.add_parser(
+        "history",
+        help="render the BENCH_history.jsonl trend log as tables",
+    )
+    history.add_argument(
+        "path",
+        nargs="?",
+        default="BENCH_history.jsonl",
+        help="trend log to read (default: BENCH_history.jsonl)",
+    )
+    history.add_argument(
+        "--last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only consider the last N recorded runs",
+    )
+    history.set_defaults(handler=cmd_history)
 
     metrics = commands.add_parser(
         "metrics",

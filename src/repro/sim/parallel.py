@@ -313,11 +313,54 @@ class ParallelSweepRunner:
             return [func(payload) for payload in payloads]
 
     def run(
-        self, cells: Sequence[SweepCell], config: SystemConfig
+        self,
+        cells: Sequence[SweepCell],
+        config: SystemConfig,
+        store=None,
     ) -> List[SimulationResult]:
-        """Execute every cell; results arrive in cell order."""
+        """Execute every cell; results arrive in cell order.
+
+        With a :class:`~repro.store.ResultStore` the run is
+        *incremental*: the grid is partitioned into store hits (replayed
+        from disk, no simulation) and misses (computed exactly as
+        without a store, then written back from the parent — workers
+        never touch the store). Hits and misses are indistinguishable in
+        the returned list: computed misses pass through the store codec
+        (:meth:`ResultStore.normalize`), so a warm sweep is bit-identical
+        to a cold one.
+        """
         cells = list(cells)
         validate_cells(cells)
+        if store is None:
+            return self._run_all(cells, config)
+        from repro.store.fingerprint import cell_fingerprint
+
+        fingerprints = [cell_fingerprint(cell, config) for cell in cells]
+        results: List[Optional[SimulationResult]] = [
+            store.get(fingerprint) for fingerprint in fingerprints
+        ]
+        miss_slots = [
+            slot for slot, result in enumerate(results) if result is None
+        ]
+        if miss_slots:
+            computed = self._run_all([cells[s] for s in miss_slots], config)
+            for slot, result in zip(miss_slots, computed):
+                cell = cells[slot]
+                store.put(
+                    fingerprints[slot],
+                    result,
+                    meta={
+                        "protocol": cell.protocol,
+                        "workload": cell.trace.label(),
+                    },
+                )
+                results[slot] = store.normalize(result)
+        return results  # type: ignore[return-value]
+
+    def _run_all(
+        self, cells: List[SweepCell], config: SystemConfig
+    ) -> List[SimulationResult]:
+        """The store-oblivious path: compute every cell (pre-validated)."""
         if self.workers > 1 and len(cells) > 1:
             # Compile each distinct data side — and each distinct
             # metadata plan — once in the parent so fork-started

@@ -51,6 +51,7 @@ def run_protocol_sweep(
     workers: int = 1,
     replay: bool = True,
     plan: bool = True,
+    store=None,
 ) -> Dict[str, SimulationResult]:
     """Run ``trace`` under each protocol on a fresh machine.
 
@@ -73,10 +74,28 @@ def run_protocol_sweep(
     geometry) and shared across every protocol. Bit-identical again;
     ``plan=False`` (``--no-plan``) falls back to stream replay with
     per-event derivation. Ignored unless ``replay`` is on.
+
+    With a :class:`~repro.store.ResultStore` as ``store`` the sweep is
+    *incremental*: cells whose fingerprints are already in the store are
+    replayed from disk, only the rest are computed (then written back),
+    and the returned mapping is bit-identical to a store-less run.
     """
     _validate_sweep(trace, protocols, churn_interval)
     label = trace.name if isinstance(trace, Trace) else trace.label()
     with telemetry.span(f"sweep:{label}"):
+        if store is not None:
+            return _run_stored_sweep(
+                trace,
+                config,
+                protocols,
+                seed=seed,
+                scatter_span_chunks=scatter_span_chunks,
+                churn_interval=churn_interval,
+                workers=workers,
+                replay=replay,
+                plan=plan,
+                store=store,
+            )
         return _run_protocol_sweep(
             trace,
             config,
@@ -88,6 +107,42 @@ def run_protocol_sweep(
             replay=replay,
             plan=plan,
         )
+
+
+def _run_stored_sweep(
+    trace: TraceLike,
+    config: SystemConfig,
+    protocols: Sequence[str],
+    seed: Seed,
+    scatter_span_chunks: int,
+    churn_interval: int,
+    workers: int,
+    replay: bool,
+    plan: bool,
+    store,
+) -> Dict[str, SimulationResult]:
+    """The incremental path: express the sweep as cells, let the
+    parallel runner partition them into store hits and misses. A raw
+    :class:`Trace` is wrapped in a literal spec so its full payload is
+    part of the fingerprint closure (and with ``workers <= 1`` the
+    runner stays in-process — same engine path as the serial sweep)."""
+    spec = trace if isinstance(trace, TraceSpec) else literal_spec(trace)
+    cells = [
+        SweepCell(
+            protocol=name,
+            trace=spec,
+            seed=seed,
+            scatter_span_chunks=scatter_span_chunks,
+            churn_interval=churn_interval,
+            replay=replay,
+            plan=plan,
+        )
+        for name in protocols
+    ]
+    results = ParallelSweepRunner(workers=workers).run(
+        cells, config, store=store
+    )
+    return dict(zip(protocols, results))
 
 
 def _run_protocol_sweep(
@@ -235,6 +290,7 @@ def sweep_normalized(
     workers: int = 1,
     replay: bool = True,
     plan: bool = True,
+    store=None,
 ) -> Dict[str, float]:
     """Normalized cycles (the paper's y-axis) for each protocol."""
     protocols = tuple(protocols)
@@ -249,6 +305,7 @@ def sweep_normalized(
         workers=workers,
         replay=replay,
         plan=plan,
+        store=store,
     )
     return normalized_cycles(results, baseline=baseline)
 

@@ -38,7 +38,6 @@ import threading
 import time
 import traceback
 from dataclasses import dataclass
-from hashlib import sha256
 from pathlib import Path
 from typing import (
     Any,
@@ -59,6 +58,7 @@ from repro.errors import (
 )
 from repro.sim.parallel import default_workers
 from repro.util.atomicio import atomic_write_text, jsonable
+from repro.util.fingerprint import config_digest, grid_digest
 
 #: Journal file name inside a run directory.
 JOURNAL_NAME = "journal.jsonl"
@@ -164,13 +164,17 @@ def build_manifest(
     ``config_digest`` hashes the config's repr (dataclass reprs are
     deterministic and cover every field); ``grid_digest`` hashes the
     ordered cell keys. Two runs with equal manifests plan identical
-    cells, which is what makes journal entries transplantable.
+    cells, which is what makes journal entries transplantable. Both
+    digests come from :mod:`repro.util.fingerprint` — the same
+    implementation the result store builds its object addresses on —
+    and keep the exact legacy byte formulas, so journals written by
+    earlier versions still resume.
     """
     return {
         "experiment": experiment,
         "library_version": _library_version(),
-        "config_digest": sha256(repr(config).encode("utf-8")).hexdigest(),
-        "grid_digest": sha256("\n".join(keys).encode("utf-8")).hexdigest(),
+        "config_digest": config_digest(config),
+        "grid_digest": grid_digest(keys),
         "cells": len(keys),
         "parameters": jsonable(parameters or {}),
     }

@@ -1,0 +1,77 @@
+"""One digest implementation for every identity in the repository.
+
+Three subsystems need to answer "is this the same thing I saw before?"
+with a hash: run journals (manifest digests gate ``--resume``), the
+content-addressed result store (cell fingerprints are object
+addresses), and any future artifact that wants a stable identity.
+Before this module each grew its own ``hashlib`` call; now they share
+one, so a digest computed anywhere in the codebase means the same
+thing everywhere.
+
+Two canonical forms cover every use:
+
+* :func:`digest_payload` — the *canonical-JSON* digest of any jsonable
+  payload: the payload is reduced to JSON builtins through
+  :func:`repro.util.atomicio.jsonable`, serialized with sorted keys and
+  fixed separators, and hashed. Key order, whitespace, and container
+  flavor (tuple vs list) cannot perturb the digest, which is what makes
+  it safe to build store keys from nested dataclasses.
+* :func:`sha256_hex` — the raw text/bytes digest the legacy manifest
+  formulas are built on. :func:`config_digest` and :func:`grid_digest`
+  preserve the exact bytes the run journals have always hashed
+  (``repr(config)`` and newline-joined cell keys), so journals written
+  by earlier versions still pass the resume manifest check.
+"""
+
+from __future__ import annotations
+
+from hashlib import sha256
+from typing import Any, Iterable, Union
+
+import json
+
+from repro.util.atomicio import jsonable
+
+
+def sha256_hex(data: Union[str, bytes]) -> str:
+    """Hex sha256 of text (UTF-8) or bytes — the one hash primitive."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return sha256(data).hexdigest()
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON rendering of any jsonable payload.
+
+    Keys are sorted and separators fixed, so two payloads that are
+    *semantically* equal (same values, any dict ordering, tuples or
+    lists) render to byte-identical strings.
+    """
+    return json.dumps(
+        jsonable(payload), sort_keys=True, separators=(",", ":")
+    )
+
+
+def digest_payload(payload: Any) -> str:
+    """Canonical-JSON sha256 of a jsonable payload.
+
+    The identity function of the result store: fingerprints are
+    ``digest_payload`` over a cell's full input closure. Also suitable
+    for any "has this config/spec/record changed?" check.
+    """
+    return sha256_hex(canonical_json(payload))
+
+
+def config_digest(config: Any) -> str:
+    """Manifest digest of a config object (legacy-compatible).
+
+    Hashes the ``repr`` — dataclass reprs are deterministic and cover
+    every field — exactly as :func:`repro.sim.supervisor.build_manifest`
+    always has, so pre-existing journals remain resumable.
+    """
+    return sha256_hex(repr(config))
+
+
+def grid_digest(keys: Iterable[str]) -> str:
+    """Manifest digest of an ordered cell-key grid (legacy-compatible)."""
+    return sha256_hex("\n".join(keys))

@@ -16,6 +16,8 @@ times, whether the cells run in the parent or in a pool worker.
 
 from __future__ import annotations
 
+import os
+
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Tuple, Union
@@ -493,3 +495,53 @@ def set_plan_cache_limit(limit: int) -> None:
 
 def plan_cache_limit() -> int:
     return _PLAN_CACHE.limit
+
+
+# ----------------------------------------------------------------------
+# one knob for all three caches (CLI flag / environment variable)
+# ----------------------------------------------------------------------
+
+#: Environment override for every materialization-cache limit. Set
+#: before the process starts (workers inherit it through the
+#: environment, including spawn-started pools, which re-import this
+#: module); the ``--cache-limit`` CLI flag takes precedence in the
+#: process that parses it.
+CACHE_LIMIT_ENV = "REPRO_CACHE_LIMIT"
+
+
+def apply_cache_limit(limit: int) -> None:
+    """Cap all three materialization caches (trace/stream/plan) at
+    ``limit`` entries. One knob: the caches exist for the same reason
+    (bounded memoization of deterministic compiles), and memory-bound
+    hosts want to shrink them together."""
+    set_trace_cache_limit(limit)
+    set_stream_cache_limit(limit)
+    set_plan_cache_limit(limit)
+
+
+def effective_cache_limits() -> Dict[str, int]:
+    """The live limits, as recorded in profile/bench environment
+    stanzas — so an artifact produced under a shrunken cache says so."""
+    return {
+        "trace": trace_cache_limit(),
+        "stream": stream_cache_limit(),
+        "plan": plan_cache_limit(),
+    }
+
+
+def _apply_env_cache_limit() -> None:
+    """Honor ``$REPRO_CACHE_LIMIT`` at import. Invalid values (not an
+    integer, < 1) are ignored rather than fatal: a bad environment
+    variable must not brick every entry point that imports workloads."""
+    raw = os.environ.get(CACHE_LIMIT_ENV, "").strip()
+    if not raw:
+        return
+    try:
+        limit = int(raw)
+    except ValueError:
+        return
+    if limit >= 1:
+        apply_cache_limit(limit)
+
+
+_apply_env_cache_limit()

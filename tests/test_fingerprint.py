@@ -1,0 +1,78 @@
+"""Shared digest helpers: canonical-JSON digests and the legacy
+manifest formulas (journal compatibility is load-bearing: resume
+refuses a manifest whose digests moved)."""
+
+from hashlib import sha256
+
+from repro.config import default_config
+from repro.sim.supervisor import build_manifest
+from repro.util.fingerprint import (
+    canonical_json,
+    config_digest,
+    digest_payload,
+    grid_digest,
+    sha256_hex,
+)
+
+
+class TestSha256Hex:
+    def test_text_and_bytes_agree(self):
+        assert sha256_hex("abc") == sha256_hex(b"abc")
+
+    def test_matches_hashlib(self):
+        assert sha256_hex("abc") == sha256(b"abc").hexdigest()
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_tuple_and_list_agree(self):
+        assert canonical_json({"xs": (1, 2, 3)}) == canonical_json(
+            {"xs": [1, 2, 3]}
+        )
+
+    def test_no_whitespace(self):
+        assert canonical_json({"a": [1, 2]}) == '{"a":[1,2]}'
+
+    def test_dataclasses_reduce(self):
+        config = default_config()
+        assert canonical_json(config) == canonical_json(config)
+        assert '"seed"' in canonical_json(config)
+
+
+class TestDigestPayload:
+    def test_stable_across_orderings(self):
+        assert digest_payload({"b": 1, "a": (1, 2)}) == digest_payload(
+            {"a": [1, 2], "b": 1}
+        )
+
+    def test_value_sensitivity(self):
+        assert digest_payload({"a": 1}) != digest_payload({"a": 2})
+
+
+class TestLegacyManifestFormulas:
+    """The exact byte formulas the run journals have always hashed —
+    change either and every existing journal stops resuming."""
+
+    def test_config_digest_is_sha256_of_repr(self):
+        config = default_config()
+        assert config_digest(config) == sha256(
+            repr(config).encode("utf-8")
+        ).hexdigest()
+
+    def test_grid_digest_is_sha256_of_joined_keys(self):
+        keys = ["0000/amnt/a", "0001/leaf/b"]
+        assert grid_digest(keys) == sha256(
+            "\n".join(keys).encode("utf-8")
+        ).hexdigest()
+
+    def test_build_manifest_uses_shared_helpers(self):
+        config = default_config()
+        keys = ["0000/amnt/x", "0001/leaf/y"]
+        manifest = build_manifest("exp", config, keys, {"p": 1})
+        assert manifest["config_digest"] == config_digest(config)
+        assert manifest["grid_digest"] == grid_digest(keys)
+        assert manifest["cells"] == 2

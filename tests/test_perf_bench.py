@@ -28,6 +28,8 @@ class TestInterleavedLegs:
             "serial_telemetry",
             "serial_replay",
             "serial_plan",
+            "store_cold",
+            "warm_sweep",
         }
         if report["legs"].get("parallel") == "measured":
             expected.add("parallel")
@@ -105,6 +107,37 @@ class TestInterleavedLegs:
         assert "serial_plan" not in report["samples_seconds"]
         assert report["speedups"]["plan_vs_serial"] is None
         assert report["speedups"]["plan_vs_replay"] is None
+
+    def test_skip_store_drops_legs(self):
+        report = run_reference_bench(
+            workers=1,
+            benchmarks=("blackscholes",),
+            protocols=("leaf",),
+            accesses=300,
+            output=None,
+            include_uncached=False,
+            include_store=False,
+            rounds=1,
+        )
+        assert report["timings_seconds"]["store_cold"] is None
+        assert report["timings_seconds"]["warm_sweep"] is None
+        assert "store_cold" not in report["samples_seconds"]
+        assert report["speedups"]["warm_vs_cold"] is None
+        assert "store" not in report
+
+    def test_store_legs_cold_then_all_hits(self, report):
+        """Cold computes + writes every cell; warm replays the same
+        round's store with zero misses."""
+        cells = report["grid"]["cells"]
+        store = report["store"]
+        assert store["cold_session"]["misses"] == cells
+        assert store["cold_session"]["puts"] == cells
+        assert store["warm_session"]["hits"] == cells
+        assert store["warm_session"]["misses"] == 0
+        assert report["speedups"]["warm_vs_cold"] == pytest.approx(
+            report["timings_seconds"]["store_cold"]
+            / report["timings_seconds"]["warm_sweep"]
+        )
 
     def test_rounds_must_be_positive(self):
         with pytest.raises(ValueError):
